@@ -1,0 +1,390 @@
+package cmpi_test
+
+// One benchmark per table/figure of the paper (regenerating the artifact
+// and reporting its headline number as a custom metric), plus ablation
+// benchmarks for the design choices called out in DESIGN.md and host-time
+// benchmarks of the simulator itself.
+//
+// The experiment benchmarks are deterministic in virtual time; run them
+// with -benchtime=1x for a single regeneration:
+//
+//	go test -bench=. -benchmem -benchtime=1x
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"cmpi"
+	"cmpi/internal/core"
+	"cmpi/internal/experiments"
+	"cmpi/internal/mpi"
+	"cmpi/internal/sim"
+)
+
+// runExperiment regenerates one artifact per iteration and lets extract
+// pull a headline metric out of the table.
+func runExperiment(b *testing.B, id string, extract func(t *experiments.Table) (float64, string)) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if extract != nil {
+			v, unit := extract(tab)
+			b.ReportMetric(v, unit)
+		}
+	}
+}
+
+func cellF(b *testing.B, s string) float64 {
+	b.Helper()
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "%"), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+func BenchmarkFigure1_Graph500Default(b *testing.B) {
+	runExperiment(b, "fig1", func(t *experiments.Table) (float64, string) {
+		return cellF(b, t.Rows[3][2]), "x_4cont_vs_native"
+	})
+}
+
+func BenchmarkFigure3a_Breakdown(b *testing.B) {
+	runExperiment(b, "fig3a", func(t *experiments.Table) (float64, string) {
+		return cellF(b, t.Rows[3][1]), "commpct_4cont"
+	})
+}
+
+func BenchmarkFigure3bc_Channels(b *testing.B) {
+	runExperiment(b, "fig3bc", func(t *experiments.Table) (float64, string) {
+		// HCA/SHM latency ratio at the first probed size.
+		return cellF(b, t.Rows[0][3]) / cellF(b, t.Rows[0][1]), "x_hca_vs_shm_lat"
+	})
+}
+
+func BenchmarkTableI_ChannelCounts(b *testing.B) {
+	runExperiment(b, "tableI", func(t *experiments.Table) (float64, string) {
+		return cellF(b, t.Rows[2][4]), "hca_ops_4cont"
+	})
+}
+
+func BenchmarkFigure7a_EagerSize(b *testing.B) {
+	runExperiment(b, "fig7a", func(t *experiments.Table) (float64, string) {
+		best, bestBW := 0.0, 0.0
+		for _, row := range t.Rows {
+			if bw := cellF(b, row[2]); bw > bestBW {
+				best, bestBW = cellF(b, row[0]), bw
+			}
+		}
+		return best, "best_eager_bytes"
+	})
+}
+
+func BenchmarkFigure7b_LengthQueue(b *testing.B) {
+	runExperiment(b, "fig7b", func(t *experiments.Table) (float64, string) {
+		return cellF(b, t.Rows[3][2]) / cellF(b, t.Rows[0][2]), "x_128K_vs_16K"
+	})
+}
+
+func BenchmarkFigure7c_IBAThreshold(b *testing.B) {
+	runExperiment(b, "fig7c", nil)
+}
+
+func BenchmarkFigure8_TwoSided(b *testing.B) {
+	runExperiment(b, "fig8", func(t *experiments.Table) (float64, string) {
+		// 1KiB row: Cont-intra-Def vs Cont-intra-Opt latency.
+		for _, row := range t.Rows {
+			if row[0] == "1024" {
+				return cellF(b, row[1]) / cellF(b, row[2]), "x_def_vs_opt_lat_1K"
+			}
+		}
+		return 0, "x_def_vs_opt_lat_1K"
+	})
+}
+
+func BenchmarkFigure9_OneSided(b *testing.B) {
+	runExperiment(b, "fig9", nil)
+}
+
+func BenchmarkFigure10_Collectives(b *testing.B) {
+	runExperiment(b, "fig10", func(t *experiments.Table) (float64, string) {
+		var sum float64
+		for _, row := range t.Rows {
+			sum += cellF(b, row[5])
+		}
+		return sum / float64(len(t.Rows)), "mean_improvement_pct"
+	})
+}
+
+func BenchmarkFigure11_Graph500Proposed(b *testing.B) {
+	runExperiment(b, "fig11", func(t *experiments.Table) (float64, string) {
+		return cellF(b, t.Rows[3][3]), "improvement_pct_4cont"
+	})
+}
+
+func BenchmarkFigure12_Applications(b *testing.B) {
+	runExperiment(b, "fig12", func(t *experiments.Table) (float64, string) {
+		return cellF(b, t.Rows[1][4]), "cg_improvement_pct"
+	})
+}
+
+// --- ablations ---------------------------------------------------------
+
+// pairWorldB builds the standard 2-container pair world for ablations.
+func pairWorldB(b *testing.B, tweak func(*cmpi.Options)) *cmpi.World {
+	b.Helper()
+	clu := cmpi.NewCluster(cmpi.ClusterSpec{Hosts: 1, SocketsPerHost: 2, CoresPerSocket: 12, HCAsPerHost: 1})
+	d, err := cmpi.TwoContainersSockets(clu, true, cmpi.PaperScenarioOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := cmpi.DefaultOptions()
+	if tweak != nil {
+		tweak(&opts)
+	}
+	w, err := cmpi.NewWorld(d, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkAblationChannelSwitch compares all-SHM, all-CMA and the paper's
+// switched SHM/CMA configuration at the 8K boundary size, reporting the
+// virtual one-way latency of each policy.
+func BenchmarkAblationChannelSwitch(b *testing.B) {
+	policies := []struct {
+		name  string
+		tweak func(*cmpi.Options)
+	}{
+		{"allSHM", func(o *cmpi.Options) {
+			o.Tunables.UseCMA = false
+			o.Tunables.SMPEagerSize = 1 << 21
+			o.Tunables.SMPLengthQueue = 1 << 22
+		}},
+		{"allCMA", func(o *cmpi.Options) { o.Tunables.SMPEagerSize = 64 }},
+		{"switched", nil},
+	}
+	for _, pol := range policies {
+		b.Run(pol.name, func(b *testing.B) {
+			cfg := cmpi.OSUConfig{Iters: 50, Warmup: 5, Window: 16}
+			for i := 0; i < b.N; i++ {
+				// Probe the small and large regimes.
+				w := pairWorldB(b, pol.tweak)
+				s, err := cmpi.OSULatency(w, []int{256, 65536}, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				small, _ := s.At(256)
+				big, _ := s.At(65536)
+				b.ReportMetric(small, "us_small")
+				b.ReportMetric(big, "us_large")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFlatVsHierarchical compares flat recursive-doubling
+// allreduce with the two-level leader-based extension at 64 ranks over 4
+// hosts.
+func BenchmarkAblationFlatVsHierarchical(b *testing.B) {
+	measure := func(b *testing.B, hier bool) float64 {
+		spec := cmpi.ChameleonSpec()
+		spec.Hosts = 4
+		clu := cmpi.NewCluster(spec)
+		d, err := cmpi.Containers(clu, 4, 64, cmpi.PaperScenarioOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := cmpi.DefaultOptions()
+		opts.HierarchicalCollectives = hier
+		w, err := cmpi.NewWorld(d, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Run(func(r *cmpi.Rank) error {
+			buf := make([]byte, 1024)
+			for i := 0; i < 20; i++ {
+				r.Allreduce(buf, cmpi.SumFloat64)
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		return w.MaxBodyTime().Micros() / 20
+	}
+	for _, variant := range []struct {
+		name string
+		hier bool
+	}{{"flat", false}, {"hierarchical", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.ReportMetric(measure(b, variant.hier), "us_per_allreduce")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDetectorLocking compares MPI_Init time with the paper's
+// lock-free byte-per-rank container list against a mutex-protected list.
+func BenchmarkAblationDetectorLocking(b *testing.B) {
+	measure := func(b *testing.B, locked bool) float64 {
+		clu := cmpi.NewCluster(cmpi.ClusterSpec{Hosts: 1, SocketsPerHost: 2, CoresPerSocket: 12, HCAsPerHost: 1})
+		d, err := cmpi.Containers(clu, 4, 24, cmpi.PaperScenarioOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := cmpi.DefaultOptions()
+		opts.LockedDetector = locked
+		w, err := cmpi.NewWorld(d, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var initDone cmpi.Time
+		if err := w.Run(func(r *cmpi.Rank) error {
+			if r.Now() > initDone {
+				initDone = r.Now()
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		return initDone.Micros()
+	}
+	for _, variant := range []struct {
+		name   string
+		locked bool
+	}{{"lockfree", false}, {"locked", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.ReportMetric(measure(b, variant.locked), "us_init_24ranks")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLoopbackPerOp shows the model sensitivity behind the
+// bottleneck: zeroing the loopback per-op cost collapses the default/aware
+// latency gap, confirming the gap is the HCA loopback's fault.
+func BenchmarkAblationLoopbackPerOp(b *testing.B) {
+	latency := func(b *testing.B, perOpNs float64) float64 {
+		w := pairWorldB(b, func(o *cmpi.Options) {
+			*o = cmpi.StockOptions()
+			o.Params.IBLoopPerOp = sim.FromNanos(perOpNs)
+		})
+		s, err := cmpi.OSULatency(w, []int{1024}, cmpi.OSUConfig{Iters: 50, Warmup: 5, Window: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, _ := s.At(1024)
+		return v
+	}
+	for _, variant := range []struct {
+		name string
+		ns   float64
+	}{{"modeled1200ns", 1200}, {"hypothetical0ns", 0}} {
+		b.Run(variant.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.ReportMetric(latency(b, variant.ns), "us_default_1K")
+			}
+		})
+	}
+}
+
+// --- simulator host-time benchmarks -------------------------------------
+
+// BenchmarkSimEngineEventThroughput measures raw event dispatch rate.
+func BenchmarkSimEngineEventThroughput(b *testing.B) {
+	e := sim.NewEngine()
+	e.Go("p", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(sim.Nanosecond)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkHostTimePingPong measures host seconds per simulated message.
+func BenchmarkHostTimePingPong(b *testing.B) {
+	clu := cmpi.NewCluster(cmpi.ClusterSpec{Hosts: 1, SocketsPerHost: 2, CoresPerSocket: 12, HCAsPerHost: 1})
+	d, err := cmpi.TwoContainersSockets(clu, true, cmpi.PaperScenarioOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := cmpi.NewWorld(d, cmpi.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	err = w.Run(func(r *cmpi.Rank) error {
+		msg := make([]byte, 1024)
+		for i := 0; i < b.N; i++ {
+			if r.Rank() == 0 {
+				r.Send(1, 0, msg)
+				r.Recv(1, 1, msg)
+			} else {
+				r.Recv(0, 0, msg)
+				r.Send(0, 1, msg)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkHostTimeAllreduce64 measures host cost of a 64-rank collective.
+func BenchmarkHostTimeAllreduce64(b *testing.B) {
+	spec := cmpi.ChameleonSpec()
+	spec.Hosts = 4
+	clu := cmpi.NewCluster(spec)
+	d, err := cmpi.Containers(clu, 4, 64, cmpi.PaperScenarioOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := mpi.NewWorld(d, mpi.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	err = w.Run(func(r *mpi.Rank) error {
+		buf := make([]byte, 4096)
+		for i := 0; i < b.N; i++ {
+			r.Allreduce(buf, mpi.SumFloat64)
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkChannelSelection measures the per-message policy decision.
+func BenchmarkChannelSelection(b *testing.B) {
+	tun := core.DefaultTunables()
+	cap := core.PeerCapabilities{SameHost: true, SharedIPC: true, SharedPID: true, DetectedLocal: true}
+	for i := 0; i < b.N; i++ {
+		core.SelectPath(core.ModeLocalityAware, tun, cap, i%(1<<20))
+	}
+}
+
+// BenchmarkExtScaling regenerates the beyond-the-paper scaling sweep.
+func BenchmarkExtScaling(b *testing.B) {
+	runExperiment(b, "ext-scaling", func(t *experiments.Table) (float64, string) {
+		last := t.Rows[len(t.Rows)-1]
+		return cellF(b, last[4]), "improvement_pct_largest"
+	})
+}

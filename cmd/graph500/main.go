@@ -1,0 +1,70 @@
+// Command graph500 runs the Graph 500 benchmark on a simulated container
+// deployment, reporting per-root BFS times, TEPS and validation status.
+//
+// Example (the paper's Fig. 1 data points):
+//
+//	graph500 -scale 16 -procs 16 -containers 0 -mode default   # native
+//	graph500 -scale 16 -procs 16 -containers 4 -mode default   # degraded
+//	graph500 -scale 16 -procs 16 -containers 4 -mode aware     # recovered
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cmpi"
+)
+
+func main() {
+	scale := flag.Int("scale", 14, "2^scale vertices")
+	edgefactor := flag.Int("edgefactor", 16, "edges per vertex")
+	roots := flag.Int("roots", 4, "BFS roots")
+	hosts := flag.Int("hosts", 1, "hosts")
+	containers := flag.Int("containers", 2, "containers per host (0 = native)")
+	procs := flag.Int("procs", 16, "MPI processes")
+	mode := flag.String("mode", "aware", "library mode: default | aware")
+	validate := flag.Bool("validate", true, "validate BFS trees")
+	seed := flag.Int64("seed", 20160816, "generator seed")
+	flag.Parse()
+
+	spec := cmpi.ChameleonSpec()
+	spec.Hosts = *hosts
+	clu := cmpi.NewCluster(spec)
+	var d *cmpi.Deployment
+	var err error
+	if *containers == 0 {
+		d, err = cmpi.Native(clu, *procs)
+	} else {
+		d, err = cmpi.Containers(clu, *containers, *procs, cmpi.PaperScenarioOpts())
+	}
+	fatal(err)
+	opts := cmpi.DefaultOptions()
+	if *mode == "default" {
+		opts = cmpi.StockOptions()
+	}
+	w, err := cmpi.NewWorld(d, opts)
+	fatal(err)
+
+	p := cmpi.Graph500Params{
+		Scale: *scale, EdgeFactor: *edgefactor, Roots: *roots,
+		Seed: *seed, CoalesceBytes: 8192, Validate: *validate,
+	}
+	res, err := cmpi.RunGraph500(w, p)
+	fatal(err)
+
+	fmt.Printf("graph500 scale=%d edgefactor=%d procs=%d scenario=%s mode=%s\n",
+		*scale, *edgefactor, *procs, d.Scenario, *mode)
+	for i, bt := range res.BFSTimes {
+		fmt.Printf("  root %d: BFS %v\n", i, bt)
+	}
+	fmt.Printf("mean BFS: %v   harmonic TEPS: %.4g   visited(mean): %.0f/%d   validated: %v\n",
+		res.MeanBFS, res.TEPS, res.VisitedMean, res.NVertices, res.Validated)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graph500:", err)
+		os.Exit(1)
+	}
+}

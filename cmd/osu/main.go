@@ -1,0 +1,127 @@
+// Command osu runs one OSU-style micro-benchmark between two simulated
+// endpoints (containerized or native), like the OSU micro-benchmark suite
+// on the paper's testbed.
+//
+// Examples:
+//
+//	osu -bench latency -mode default          # HCA loopback (paper's Def)
+//	osu -bench latency -mode aware            # SHM/CMA (paper's Opt)
+//	osu -bench put_bw -native                 # native baseline
+//	osu -bench allreduce -hosts 4 -procs 32   # collective latency
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cmpi"
+	"cmpi/internal/osu"
+)
+
+func main() {
+	bench := flag.String("bench", "latency",
+		"latency | bw | bibw | mr | mbw | put_lat | put_bw | put_bibw | get_lat | get_bw | bcast | allreduce | allgather | alltoall")
+	mode := flag.String("mode", "aware", "library mode: default | aware")
+	native := flag.Bool("native", false, "native pair instead of containers")
+	interSocket := flag.Bool("intersocket", false, "pin the pair to different sockets")
+	hosts := flag.Int("hosts", 4, "hosts (collective benches)")
+	procs := flag.Int("procs", 32, "processes (collective benches)")
+	minSize := flag.Int("min", 1, "minimum message size")
+	maxSize := flag.Int("max", 1<<20, "maximum message size")
+	iters := flag.Int("iters", 100, "timed iterations per size")
+	flag.Parse()
+
+	cfg := cmpi.DefaultOSUConfig()
+	cfg.Iters = *iters
+	sizes := cmpi.PowersOfTwo(*minSize, *maxSize)
+
+	opts := cmpi.DefaultOptions()
+	if *mode == "default" {
+		opts = cmpi.StockOptions()
+	}
+
+	pair := func() *cmpi.World {
+		clu := cmpi.NewCluster(cmpi.ClusterSpec{Hosts: 1, SocketsPerHost: 2, CoresPerSocket: 12, HCAsPerHost: 1})
+		var d *cmpi.Deployment
+		var err error
+		if *native {
+			d, err = cmpi.NativePair(clu, !*interSocket)
+		} else {
+			d, err = cmpi.TwoContainersSockets(clu, !*interSocket, cmpi.PaperScenarioOpts())
+		}
+		fatal(err)
+		w, err := cmpi.NewWorld(d, opts)
+		fatal(err)
+		return w
+	}
+	collective := func() *cmpi.World {
+		spec := cmpi.ChameleonSpec()
+		spec.Hosts = *hosts
+		clu := cmpi.NewCluster(spec)
+		d, err := cmpi.Containers(clu, 4, *procs, cmpi.PaperScenarioOpts())
+		fatal(err)
+		w, err := cmpi.NewWorld(d, opts)
+		fatal(err)
+		return w
+	}
+
+	var series cmpi.OSUSeries
+	var err error
+	var unit string
+	switch *bench {
+	case "latency":
+		unit = "us"
+		series, err = cmpi.OSULatency(pair(), sizes, cfg)
+	case "bw":
+		unit = "MB/s"
+		series, err = cmpi.OSUBandwidth(pair(), sizes, cfg)
+	case "bibw":
+		unit = "MB/s"
+		series, err = cmpi.OSUBiBandwidth(pair(), sizes, cfg)
+	case "mr":
+		unit = "msg/s"
+		series, err = cmpi.OSUMessageRate(pair(), sizes, cfg)
+	case "mbw":
+		unit = "MB/s"
+		series, err = osu.MultiPairBandwidth(collective(), sizes, cfg)
+	case "put_lat":
+		unit = "us"
+		series, err = cmpi.OSUPutLatency(pair(), sizes, cfg)
+	case "put_bw":
+		unit = "MB/s"
+		series, err = cmpi.OSUPutBandwidth(pair(), sizes, cfg)
+	case "put_bibw":
+		unit = "MB/s"
+		series, err = cmpi.OSUPutBiBandwidth(pair(), sizes, cfg)
+	case "get_lat":
+		unit = "us"
+		series, err = cmpi.OSUGetLatency(pair(), sizes, cfg)
+	case "get_bw":
+		unit = "MB/s"
+		series, err = cmpi.OSUGetBandwidth(pair(), sizes, cfg)
+	case "bcast", "allreduce", "allgather", "alltoall":
+		unit = "us"
+		kinds := map[string]osu.CollectiveKind{
+			"bcast": osu.Bcast, "allreduce": osu.Allreduce,
+			"allgather": osu.Allgather, "alltoall": osu.Alltoall,
+		}
+		series, err = osu.Collective(collective(), kinds[*bench], sizes, cfg)
+	default:
+		fatal(fmt.Errorf("unknown benchmark %q", *bench))
+	}
+	fatal(err)
+
+	fmt.Printf("# OSU %s (%s), mode=%s\n", *bench, unit, *mode)
+	fmt.Printf("%-10s %14s\n", "bytes", unit)
+	for _, r := range series {
+		fmt.Printf("%-10d %14.3f\n", r.Bytes, r.Value)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "osu:", err)
+		os.Exit(1)
+	}
+}

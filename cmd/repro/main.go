@@ -1,0 +1,68 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation section on the simulated testbed.
+//
+// Usage:
+//
+//	repro               # run every experiment at Quick scale
+//	repro -fig fig8     # one experiment
+//	repro -full         # the paper's 16-host/256-rank geometry
+//	repro -list         # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cmpi/internal/experiments"
+)
+
+func main() {
+	figID := flag.String("fig", "all", "experiment id (fig1, fig3a, fig3bc, tableI, fig7a..c, fig8..12) or 'all'")
+	full := flag.Bool("full", false, "run at the paper's full deployment geometry (slower)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text (for plotting)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+	scale := experiments.Quick
+	if *full {
+		scale = experiments.Full
+	}
+
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		tab, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s: %s\n", tab.ID, tab.Title)
+			tab.RenderCSV(os.Stdout)
+			fmt.Println()
+			return
+		}
+		tab.Render(os.Stdout)
+		fmt.Printf("  (generated in %.1fs host time)\n\n", time.Since(start).Seconds())
+	}
+
+	if *figID == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e, ok := experiments.ByID(*figID)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *figID)
+		os.Exit(2)
+	}
+	run(e)
+}

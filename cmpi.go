@@ -1,0 +1,275 @@
+// Package cmpi is a locality-aware MPI library for container-based HPC
+// clouds, reproducing Zhang, Lu and Panda, "High Performance MPI Library
+// for Container-Based HPC Cloud on InfiniBand Clusters" (ICPP 2016) as a
+// deterministic virtual-time simulation.
+//
+// The library models a cluster of multi-socket InfiniBand hosts running
+// Docker-style containers, and an MVAPICH2-like MPI runtime with three
+// communication channels: user-space shared memory (SHM), Cross Memory
+// Attach (CMA), and the InfiniBand HCA. In its default mode the runtime —
+// like stock MPI — detects locality by hostname, so co-resident containers
+// look remote and talk through the slow HCA loopback. In locality-aware
+// mode the paper's Container Locality Detector discovers co-residence
+// through a byte-per-rank list in host-wide shared memory and reroutes
+// traffic onto SHM/CMA.
+//
+// Quick start:
+//
+//	clu := cmpi.NewCluster(cmpi.ClusterSpec{Hosts: 2, SocketsPerHost: 2, CoresPerSocket: 12, HCAsPerHost: 1})
+//	deploy, _ := cmpi.Containers(clu, 2, 8, cmpi.PaperScenarioOpts())
+//	world, _ := cmpi.NewWorld(deploy, cmpi.DefaultOptions())
+//	world.Run(func(r *cmpi.Rank) error {
+//		sum := r.AllreduceFloat64(float64(r.Rank()), cmpi.SumFloat64)
+//		if r.Rank() == 0 {
+//			fmt.Printf("sum of ranks: %v at t=%v\n", sum, r.Now())
+//		}
+//		return nil
+//	})
+//
+// All communication moves real bytes; all time is virtual and
+// deterministic (identical runs produce identical timings).
+package cmpi
+
+import (
+	"cmpi/internal/cluster"
+	"cmpi/internal/core"
+	"cmpi/internal/graph500"
+	"cmpi/internal/mpi"
+	"cmpi/internal/npb"
+	"cmpi/internal/osu"
+	"cmpi/internal/perf"
+	"cmpi/internal/profile"
+	"cmpi/internal/sim"
+)
+
+// Cluster and deployment model.
+type (
+	// ClusterSpec describes the hardware of a homogeneous cluster.
+	ClusterSpec = cluster.Spec
+	// Cluster is an instantiated set of hosts.
+	Cluster = cluster.Cluster
+	// Host is one physical node.
+	Host = cluster.Host
+	// Container is one isolated execution environment on a host.
+	Container = cluster.Container
+	// RunOpts mirrors the docker-run flags relevant to the paper.
+	RunOpts = cluster.RunOpts
+	// ScenarioOpts configures the standard deployment builders.
+	ScenarioOpts = cluster.ScenarioOpts
+	// Deployment is a rank-to-container mapping for one job.
+	Deployment = cluster.Deployment
+	// Placement binds one rank to an environment and core.
+	Placement = cluster.Placement
+)
+
+// MPI runtime.
+type (
+	// Options configures an MPI job (mode, tunables, cost model).
+	Options = mpi.Options
+	// World is one MPI job.
+	World = mpi.World
+	// Rank is one MPI process; communication methods hang off it.
+	Rank = mpi.Rank
+	// Request is a nonblocking operation handle.
+	Request = mpi.Request
+	// Status describes a completed receive.
+	Status = mpi.Status
+	// Win is a one-sided communication window.
+	Win = mpi.Win
+	// Comm is a communicator (subset of ranks with a private matching
+	// context), created with Rank.CommWorld and Comm.Split.
+	Comm = mpi.Comm
+	// ReduceOp combines byte buffers elementwise for reductions.
+	ReduceOp = mpi.ReduceOp
+	// Mode selects hostname-based or locality-aware channel selection.
+	Mode = core.Mode
+	// Tunables are the MVAPICH-style channel parameters.
+	Tunables = core.Tunables
+	// PerfParams is the calibrated hardware cost model.
+	PerfParams = perf.Params
+	// Time is virtual time (picosecond resolution).
+	Time = sim.Time
+	// Profile is the mpiP-style job profile.
+	Profile = profile.Profile
+)
+
+// Modes and wildcards.
+const (
+	// ModeDefault is stock hostname-based locality (the paper's baseline).
+	ModeDefault = core.ModeDefault
+	// ModeLocalityAware enables the Container Locality Detector.
+	ModeLocalityAware = core.ModeLocalityAware
+	// AnySource matches any sender in Recv/Irecv.
+	AnySource = mpi.AnySource
+	// AnyTag matches any tag in Recv/Irecv.
+	AnyTag = mpi.AnyTag
+	// Undefined is the MPI_UNDEFINED split color (join no communicator).
+	Undefined = mpi.Undefined
+)
+
+// Reduction operators.
+var (
+	// SumFloat64 adds float64 vectors.
+	SumFloat64 = mpi.SumFloat64
+	// MaxFloat64 takes elementwise float64 maxima.
+	MaxFloat64 = mpi.MaxFloat64
+	// SumInt64 adds int64 vectors.
+	SumInt64 = mpi.SumInt64
+	// MinInt64 takes elementwise int64 minima.
+	MinInt64 = mpi.MinInt64
+	// MaxInt64 takes elementwise int64 maxima.
+	MaxInt64 = mpi.MaxInt64
+	// BOr is bitwise OR over raw bytes.
+	BOr = mpi.BOr
+)
+
+// NewCluster builds a cluster from spec (panics on invalid specs; use
+// cluster validation via ClusterSpec.Validate for graceful handling).
+func NewCluster(spec ClusterSpec) *Cluster { return cluster.MustNew(spec) }
+
+// ChameleonSpec returns the paper's testbed: 16 nodes, 2x12 cores, FDR HCAs.
+func ChameleonSpec() ClusterSpec { return cluster.ChameleonSpec() }
+
+// Native deploys procs ranks directly on the hosts (no containers).
+func Native(c *Cluster, procs int) (*Deployment, error) { return cluster.Native(c, procs) }
+
+// Containers deploys procs ranks across containersPerHost containers on
+// every host.
+func Containers(c *Cluster, containersPerHost, procs int, opts ScenarioOpts) (*Deployment, error) {
+	return cluster.Containers(c, containersPerHost, procs, opts)
+}
+
+// TwoContainersSockets builds the 2-rank pt2pt scenario of the paper's
+// Figs. 8/9 (intra- or inter-socket container pair on one host).
+func TwoContainersSockets(c *Cluster, sameSocket bool, opts ScenarioOpts) (*Deployment, error) {
+	return cluster.TwoContainersSockets(c, sameSocket, opts)
+}
+
+// NativePair builds the matching native 2-rank scenario.
+func NativePair(c *Cluster, sameSocket bool) (*Deployment, error) {
+	return cluster.NativePair(c, sameSocket)
+}
+
+// PaperScenarioOpts is the paper's container config: privileged with host
+// IPC and PID namespaces shared.
+func PaperScenarioOpts() ScenarioOpts { return cluster.PaperScenarioOpts() }
+
+// IsolatedScenarioOpts keeps containers fully namespace-isolated.
+func IsolatedScenarioOpts() ScenarioOpts { return cluster.IsolatedScenarioOpts() }
+
+// NewWorld builds an MPI job on a deployment.
+func NewWorld(d *Deployment, opts Options) (*World, error) { return mpi.NewWorld(d, opts) }
+
+// DefaultOptions is the paper's proposed configuration (locality-aware,
+// container-tuned channel parameters).
+func DefaultOptions() Options { return mpi.DefaultOptions() }
+
+// StockOptions is unmodified MVAPICH2 behaviour (hostname locality).
+func StockOptions() Options { return mpi.StockOptions() }
+
+// OptionsFromEnv applies MVAPICH2-compatible MV2_* environment variables
+// (MV2_SMP_EAGERSIZE, MV2_IBA_EAGER_THRESHOLD, MV2_CONTAINER_SUPPORT, ...)
+// to a base option set.
+func OptionsFromEnv(base Options, env map[string]string) (Options, error) {
+	return mpi.OptionsFromEnv(base, env)
+}
+
+// DefaultTunables returns the paper-tuned channel parameters
+// (SMP_EAGER_SIZE=8K, SMPI_LENGTH_QUEUE=128K, MV2_IBA_EAGER_THRESHOLD=17K).
+func DefaultTunables() Tunables { return core.DefaultTunables() }
+
+// DefaultPerfParams returns the cost model calibrated to the paper's
+// Chameleon testbed.
+func DefaultPerfParams() PerfParams { return perf.Default() }
+
+// Workloads.
+type (
+	// Graph500Params configures the Graph 500 benchmark.
+	Graph500Params = graph500.Params
+	// Graph500Result is a Graph 500 outcome.
+	Graph500Result = graph500.Result
+	// NPBClass selects an NPB problem size.
+	NPBClass = npb.Class
+	// NPBResult is one NPB kernel outcome.
+	NPBResult = npb.Result
+	// OSUConfig controls micro-benchmark iteration counts.
+	OSUConfig = osu.Config
+	// OSUSeries is a micro-benchmark sweep over message sizes.
+	OSUSeries = osu.Series
+)
+
+// NPB classes.
+const (
+	ClassS = npb.ClassS
+	ClassW = npb.ClassW
+	ClassA = npb.ClassA
+	ClassB = npb.ClassB
+)
+
+// RunGraph500 executes Graph 500 on a world.
+func RunGraph500(w *World, p Graph500Params) (Graph500Result, error) { return graph500.Run(w, p) }
+
+// Graph500Defaults returns the paper's Graph 500 configuration at a scale.
+func Graph500Defaults(scale int) Graph500Params { return graph500.DefaultParams(scale) }
+
+// NPB kernels.
+var (
+	// RunEP is the embarrassingly parallel kernel.
+	RunEP = npb.RunEP
+	// RunCG is the conjugate-gradient kernel.
+	RunCG = npb.RunCG
+	// RunFT is the FFT/transpose kernel.
+	RunFT = npb.RunFT
+	// RunIS is the integer-sort kernel.
+	RunIS = npb.RunIS
+	// RunMG is the multigrid kernel.
+	RunMG = npb.RunMG
+)
+
+// OSU micro-benchmarks.
+var (
+	// OSULatency is the osu_latency ping-pong (us).
+	OSULatency = osu.Latency
+	// OSUBandwidth is osu_bw (MB/s).
+	OSUBandwidth = osu.Bandwidth
+	// OSUBiBandwidth is osu_bibw (MB/s).
+	OSUBiBandwidth = osu.BiBandwidth
+	// OSUMessageRate is the message-rate variant of osu_bw (msg/s).
+	OSUMessageRate = osu.MessageRate
+	// OSUPutLatency / OSUGetLatency are the one-sided latency benches (us).
+	OSUPutLatency = osu.PutLatency
+	OSUGetLatency = osu.GetLatency
+	// OSUPutBandwidth / OSUGetBandwidth / OSUPutBiBandwidth are the
+	// one-sided bandwidth benches (MB/s).
+	OSUPutBandwidth   = osu.PutBandwidth
+	OSUGetBandwidth   = osu.GetBandwidth
+	OSUPutBiBandwidth = osu.PutBiBandwidth
+)
+
+// DefaultOSUConfig mirrors OSU defaults scaled for simulation.
+func DefaultOSUConfig() OSUConfig { return osu.DefaultConfig() }
+
+// PowersOfTwo enumerates message sizes {lo, 2lo, ..., hi}.
+func PowersOfTwo(lo, hi int) []int { return osu.PowersOfTwo(lo, hi) }
+
+// Encoding helpers for reductions and typed buffers.
+var (
+	// EncodeFloat64s / DecodeFloat64s serialize little-endian float64 vectors.
+	EncodeFloat64s = mpi.EncodeFloat64s
+	DecodeFloat64s = mpi.DecodeFloat64s
+	// EncodeInt64s / DecodeInt64s serialize little-endian int64 vectors.
+	EncodeInt64s = mpi.EncodeInt64s
+	DecodeInt64s = mpi.DecodeInt64s
+)
+
+// EncodeFloat64 serializes one float64.
+func EncodeFloat64(v float64) []byte { return mpi.EncodeFloat64s([]float64{v}) }
+
+// DecodeFloat64 deserializes one float64.
+func DecodeFloat64(b []byte) float64 { return mpi.DecodeFloat64s(b)[0] }
+
+// TimeFromSeconds converts seconds to virtual Time.
+func TimeFromSeconds(s float64) Time { return sim.FromSeconds(s) }
+
+// TimeFromMicros converts microseconds to virtual Time.
+func TimeFromMicros(us float64) Time { return sim.FromMicros(us) }

@@ -1,0 +1,61 @@
+// Channel-parameter tuning (the paper's Fig. 7): sweep SMP_EAGER_SIZE for
+// a container pair and watch the eager/rendezvous trade-off — small values
+// pay CMA syscall overhead on medium messages, large values pay double
+// copies on large ones. The paper (and this model) land on 8 KiB.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cmpi"
+)
+
+func bwAt(eagerSize int, msgSize int) float64 {
+	clu := cmpi.NewCluster(cmpi.ClusterSpec{Hosts: 1, SocketsPerHost: 2, CoresPerSocket: 12, HCAsPerHost: 1})
+	deploy, err := cmpi.TwoContainersSockets(clu, true, cmpi.PaperScenarioOpts())
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := cmpi.DefaultOptions()
+	opts.Tunables.SMPEagerSize = eagerSize
+	if opts.Tunables.SMPLengthQueue < 2*eagerSize {
+		opts.Tunables.SMPLengthQueue = 2 * eagerSize
+	}
+	world, err := cmpi.NewWorld(deploy, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := cmpi.DefaultOSUConfig()
+	cfg.Iters = 50
+	series, err := cmpi.OSUBandwidth(world, []int{msgSize}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _ := series.At(msgSize)
+	return v
+}
+
+func main() {
+	probes := []int{2048, 8192, 32768}
+	fmt.Printf("%-12s", "eager size")
+	for _, p := range probes {
+		fmt.Printf("  bw@%-6d", p)
+	}
+	fmt.Println("(MB/s)")
+	best, bestScore := 0, 0.0
+	for _, eager := range []int{1024, 2048, 4096, 8192, 16384, 32768, 65536} {
+		fmt.Printf("%-12d", eager)
+		score := 0.0
+		for _, p := range probes {
+			v := bwAt(eager, p)
+			score += v
+			fmt.Printf("  %-9.0f", v)
+		}
+		fmt.Println()
+		if score > bestScore {
+			best, bestScore = eager, score
+		}
+	}
+	fmt.Printf("\nbest overall SMP_EAGER_SIZE: %d (paper's tuned value: 8192)\n", best)
+}

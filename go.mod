@@ -1,0 +1,3 @@
+module cmpi
+
+go 1.22

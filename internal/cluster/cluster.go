@@ -1,0 +1,312 @@
+// Package cluster models the physical testbed and the container layer on
+// top of it: hosts with sockets and cores, Docker-style containers with
+// UTS/IPC/PID/NET namespaces and a privilege flag, cpuset pinning, and
+// rank-to-container deployments.
+//
+// The namespace model is the functional heart of the paper's problem
+// statement: the SHM channel needs a shared IPC namespace, the CMA channel
+// needs a shared PID namespace, HCA access from a container needs the
+// privileged flag, and the *default* MPI locality test compares UTS
+// hostnames — which differ between co-resident containers, hiding their
+// locality from the MPI library.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NamespaceKind enumerates the Linux namespace types the model cares about.
+type NamespaceKind int
+
+// The namespace kinds relevant to MPI channel selection.
+const (
+	UTS NamespaceKind = iota // hostname
+	IPC                      // shared memory segments, semaphores
+	PID                      // process visibility (required for CMA)
+	NET                      // network devices
+)
+
+// String names the namespace kind.
+func (k NamespaceKind) String() string {
+	switch k {
+	case UTS:
+		return "uts"
+	case IPC:
+		return "ipc"
+	case PID:
+		return "pid"
+	case NET:
+		return "net"
+	}
+	return fmt.Sprintf("ns(%d)", int(k))
+}
+
+// Namespace is one kernel namespace instance. Identity comparison (pointer
+// equality) answers "do these two containers share this namespace?", exactly
+// like comparing /proc/self/ns/* inode numbers.
+type Namespace struct {
+	Kind NamespaceKind
+	// Host owning the namespace. Namespaces never span hosts.
+	Host *Host
+	// ID is unique per (host, kind); the host root namespace has ID 0.
+	ID int
+}
+
+// Spec describes the hardware of a homogeneous cluster.
+type Spec struct {
+	// Hosts is the number of physical nodes.
+	Hosts int
+	// SocketsPerHost is the number of CPU sockets per node (2 on the
+	// paper's E5-2670 v3 testbed).
+	SocketsPerHost int
+	// CoresPerSocket is the number of cores per socket (12 on the testbed).
+	CoresPerSocket int
+	// HCAsPerHost is the number of InfiniBand HCAs per node; the model
+	// currently supports 0 (no fabric) or 1.
+	HCAsPerHost int
+}
+
+// ChameleonSpec returns the paper's testbed: 16 nodes, 2x12 cores, one
+// ConnectX-3 FDR HCA each.
+func ChameleonSpec() Spec {
+	return Spec{Hosts: 16, SocketsPerHost: 2, CoresPerSocket: 12, HCAsPerHost: 1}
+}
+
+// Validate reports a descriptive error for inconsistent specs.
+func (s Spec) Validate() error {
+	if s.Hosts <= 0 {
+		return fmt.Errorf("cluster spec: Hosts = %d, need > 0", s.Hosts)
+	}
+	if s.SocketsPerHost <= 0 || s.CoresPerSocket <= 0 {
+		return fmt.Errorf("cluster spec: %d sockets x %d cores per host, need > 0",
+			s.SocketsPerHost, s.CoresPerSocket)
+	}
+	if s.HCAsPerHost < 0 || s.HCAsPerHost > 1 {
+		return fmt.Errorf("cluster spec: HCAsPerHost = %d, model supports 0 or 1", s.HCAsPerHost)
+	}
+	return nil
+}
+
+// CoresPerHost is the total core count of one node.
+func (s Spec) CoresPerHost() int { return s.SocketsPerHost * s.CoresPerSocket }
+
+// Cluster is an instantiated set of hosts.
+type Cluster struct {
+	Spec  Spec
+	hosts []*Host
+}
+
+// New builds a cluster from spec.
+func New(spec Spec) (*Cluster, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{Spec: spec}
+	for i := 0; i < spec.Hosts; i++ {
+		h := &Host{
+			cluster: c,
+			Index:   i,
+			Name:    fmt.Sprintf("host%02d", i),
+		}
+		h.root = h.newNamespaceSet("") // host root namespaces, hostname = host name
+		c.hosts = append(c.hosts, h)
+	}
+	return c, nil
+}
+
+// MustNew is New for tests and examples with known-good specs.
+func MustNew(spec Spec) *Cluster {
+	c, err := New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Hosts returns the hosts in index order.
+func (c *Cluster) Hosts() []*Host { return c.hosts }
+
+// Host returns host i.
+func (c *Cluster) Host(i int) *Host { return c.hosts[i] }
+
+// Host is one physical node.
+type Host struct {
+	cluster *Cluster
+	// Index is the host's position in the cluster.
+	Index int
+	// Name is the host's own (root UTS namespace) hostname.
+	Name string
+
+	root       *namespaceSet
+	nextNSID   int
+	containers []*Container
+	coreUsed   []bool // lazily sized cpuset occupancy, for pinning checks
+}
+
+// namespaceSet bundles the four namespaces of an execution environment.
+type namespaceSet struct {
+	uts, ipc, pid, net *Namespace
+	hostname           string
+}
+
+func (h *Host) newNamespaceSet(hostname string) *namespaceSet {
+	mk := func(k NamespaceKind) *Namespace {
+		ns := &Namespace{Kind: k, Host: h, ID: h.nextNSID}
+		return ns
+	}
+	set := &namespaceSet{hostname: hostname}
+	if hostname == "" {
+		set.hostname = h.Name
+	}
+	set.uts, set.ipc, set.pid, set.net = mk(UTS), mk(IPC), mk(PID), mk(NET)
+	h.nextNSID++
+	return set
+}
+
+// Cluster returns the owning cluster.
+func (h *Host) Cluster() *Cluster { return h.cluster }
+
+// Cores returns the host's total core count.
+func (h *Host) Cores() int { return h.cluster.Spec.CoresPerHost() }
+
+// SocketOf maps a host-local core index to its socket index.
+func (h *Host) SocketOf(core int) int { return core / h.cluster.Spec.CoresPerSocket }
+
+// Containers returns containers created on this host, in creation order.
+func (h *Host) Containers() []*Container { return h.containers }
+
+// RootIPC exposes the host root IPC namespace (what --ipc=host joins).
+func (h *Host) RootIPC() *Namespace { return h.root.ipc }
+
+// RootPID exposes the host root PID namespace (what --pid=host joins).
+func (h *Host) RootPID() *Namespace { return h.root.pid }
+
+// RunOpts mirrors the docker-run flags that matter to the paper.
+type RunOpts struct {
+	// Name becomes the container's hostname (its private UTS namespace).
+	// Empty picks "<host>-c<N>".
+	Name string
+	// Privileged grants the container access to host devices, including
+	// the InfiniBand HCA (docker run --privileged).
+	Privileged bool
+	// ShareHostIPC joins the host's IPC namespace (--ipc=host); required
+	// for cross-container shared-memory segments.
+	ShareHostIPC bool
+	// ShareHostPID joins the host's PID namespace (--pid=host); required
+	// for cross-container CMA.
+	ShareHostPID bool
+	// ShareHostNet joins the host's network namespace (--net=host).
+	ShareHostNet bool
+	// ShareHostUTS joins the host's UTS namespace (--uts=host); the
+	// container then reports the host's hostname. The paper does NOT do
+	// this — unique hostnames are precisely why default MPI misses
+	// locality — but the option exists for ablations.
+	ShareHostUTS bool
+	// CPUSet pins the container to the given host-local cores
+	// (--cpuset-cpus). Empty means unpinned.
+	CPUSet []int
+}
+
+// Container is one isolated user-space instance on a host.
+type Container struct {
+	// Host is the node the container runs on.
+	Host *Host
+	// Index is the container's creation index on its host.
+	Index int
+	// Privileged reports device access (HCA reachable).
+	Privileged bool
+	// CPUSet is the pinned core set (host-local indices); nil if unpinned.
+	CPUSet []int
+
+	ns *namespaceSet
+}
+
+// RunContainer creates a container with the requested namespace sharing,
+// mirroring `docker run`. It validates cpuset bounds and duplicate pins.
+func (h *Host) RunContainer(opts RunOpts) (*Container, error) {
+	name := opts.Name
+	if name == "" {
+		name = fmt.Sprintf("%s-c%d", h.Name, len(h.containers))
+	}
+	set := h.newNamespaceSet(name)
+	if opts.ShareHostUTS {
+		set.uts = h.root.uts
+		set.hostname = h.root.hostname
+	}
+	if opts.ShareHostIPC {
+		set.ipc = h.root.ipc
+	}
+	if opts.ShareHostPID {
+		set.pid = h.root.pid
+	}
+	if opts.ShareHostNet {
+		set.net = h.root.net
+	}
+	cpus := append([]int(nil), opts.CPUSet...)
+	sort.Ints(cpus)
+	for i, c := range cpus {
+		if c < 0 || c >= h.Cores() {
+			return nil, fmt.Errorf("container %q: cpuset core %d out of range [0,%d)", name, c, h.Cores())
+		}
+		if i > 0 && cpus[i-1] == c {
+			return nil, fmt.Errorf("container %q: duplicate core %d in cpuset", name, c)
+		}
+	}
+	ct := &Container{
+		Host:       h,
+		Index:      len(h.containers),
+		Privileged: opts.Privileged,
+		CPUSet:     cpus,
+		ns:         set,
+	}
+	h.containers = append(h.containers, ct)
+	return ct, nil
+}
+
+// NativeEnv returns the host's root execution environment — what a process
+// launched outside any container sees. It is modeled as a pseudo-container
+// that shares every root namespace and has device access.
+func (h *Host) NativeEnv() *Container {
+	return &Container{Host: h, Index: -1, Privileged: true, ns: h.root}
+}
+
+// Hostname is what gethostname() returns inside the container; the default
+// MPI locality test compares these.
+func (c *Container) Hostname() string { return c.ns.hostname }
+
+// Namespace returns the container's namespace of the given kind.
+func (c *Container) Namespace(k NamespaceKind) *Namespace {
+	switch k {
+	case UTS:
+		return c.ns.uts
+	case IPC:
+		return c.ns.ipc
+	case PID:
+		return c.ns.pid
+	case NET:
+		return c.ns.net
+	}
+	panic(fmt.Sprintf("unknown namespace kind %d", int(k)))
+}
+
+// IsNative reports whether this environment is the host root (not a real
+// container).
+func (c *Container) IsNative() bool { return c.Index == -1 }
+
+// SharesNamespace reports whether c and other are in the same namespace of
+// kind k. Containers on different hosts never share namespaces.
+func (c *Container) SharesNamespace(k NamespaceKind, other *Container) bool {
+	return c.Namespace(k) == other.Namespace(k)
+}
+
+// SameHost reports whether the two containers are co-resident.
+func (c *Container) SameHost(other *Container) bool { return c.Host == other.Host }
+
+// String identifies the container for diagnostics.
+func (c *Container) String() string {
+	if c.IsNative() {
+		return c.Host.Name + "/native"
+	}
+	return fmt.Sprintf("%s/%s", c.Host.Name, c.Hostname())
+}

@@ -1,0 +1,305 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func chameleon(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := New(ChameleonSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{},
+		{Hosts: -1, SocketsPerHost: 2, CoresPerSocket: 12},
+		{Hosts: 1, SocketsPerHost: 0, CoresPerSocket: 12},
+		{Hosts: 1, SocketsPerHost: 2, CoresPerSocket: 0},
+		{Hosts: 1, SocketsPerHost: 2, CoresPerSocket: 12, HCAsPerHost: 2},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d (%+v) should fail validation", i, s)
+		}
+	}
+	if err := ChameleonSpec().Validate(); err != nil {
+		t.Errorf("chameleon spec invalid: %v", err)
+	}
+}
+
+func TestHostTopology(t *testing.T) {
+	c := chameleon(t)
+	if len(c.Hosts()) != 16 {
+		t.Fatalf("hosts = %d, want 16", len(c.Hosts()))
+	}
+	h := c.Host(3)
+	if h.Name != "host03" {
+		t.Errorf("host name = %q", h.Name)
+	}
+	if h.Cores() != 24 {
+		t.Errorf("cores = %d, want 24", h.Cores())
+	}
+	if h.SocketOf(0) != 0 || h.SocketOf(11) != 0 || h.SocketOf(12) != 1 || h.SocketOf(23) != 1 {
+		t.Error("socket mapping wrong")
+	}
+}
+
+func TestNamespaceSharingMatrix(t *testing.T) {
+	c := chameleon(t)
+	h := c.Host(0)
+	paper, err := h.RunContainer(RunOpts{Privileged: true, ShareHostIPC: true, ShareHostPID: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper2, err := h.RunContainer(RunOpts{Privileged: true, ShareHostIPC: true, ShareHostPID: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isolated, err := h.RunContainer(RunOpts{Privileged: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Co-resident paper-config containers share IPC and PID via the host
+	// root namespaces but keep distinct hostnames.
+	if !paper.SharesNamespace(IPC, paper2) || !paper.SharesNamespace(PID, paper2) {
+		t.Error("paper-config containers must share host IPC and PID namespaces")
+	}
+	if paper.SharesNamespace(UTS, paper2) {
+		t.Error("containers must have unique UTS namespaces by default")
+	}
+	if paper.Hostname() == paper2.Hostname() {
+		t.Errorf("hostnames must differ, both %q", paper.Hostname())
+	}
+	// The isolated container shares nothing relevant.
+	if isolated.SharesNamespace(IPC, paper) || isolated.SharesNamespace(PID, paper) {
+		t.Error("isolated container must not share IPC/PID")
+	}
+	// Native env shares the root namespaces that paper-config joins.
+	native := h.NativeEnv()
+	if !native.SharesNamespace(IPC, paper) || !native.SharesNamespace(PID, paper) {
+		t.Error("paper-config containers must share namespaces with native env")
+	}
+	if !native.IsNative() || paper.IsNative() {
+		t.Error("IsNative misreports")
+	}
+}
+
+func TestNamespacesNeverSpanHosts(t *testing.T) {
+	c := chameleon(t)
+	a, _ := c.Host(0).RunContainer(RunOpts{ShareHostIPC: true, ShareHostPID: true})
+	b, _ := c.Host(1).RunContainer(RunOpts{ShareHostIPC: true, ShareHostPID: true})
+	for _, k := range []NamespaceKind{UTS, IPC, PID, NET} {
+		if a.SharesNamespace(k, b) {
+			t.Errorf("containers on different hosts share %v namespace", k)
+		}
+	}
+	if a.SameHost(b) {
+		t.Error("SameHost wrong across hosts")
+	}
+}
+
+func TestShareHostUTSAblation(t *testing.T) {
+	c := chameleon(t)
+	h := c.Host(0)
+	ct, err := h.RunContainer(RunOpts{ShareHostUTS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Hostname() != h.Name {
+		t.Errorf("uts-shared container hostname = %q, want %q", ct.Hostname(), h.Name)
+	}
+}
+
+func TestCPUSetValidation(t *testing.T) {
+	c := chameleon(t)
+	h := c.Host(0)
+	if _, err := h.RunContainer(RunOpts{CPUSet: []int{0, 24}}); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+	if _, err := h.RunContainer(RunOpts{CPUSet: []int{3, 3}}); err == nil {
+		t.Error("duplicate core accepted")
+	}
+	ct, err := h.RunContainer(RunOpts{CPUSet: []int{5, 2, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.CPUSet[0] != 2 || ct.CPUSet[2] != 9 {
+		t.Errorf("cpuset not normalized: %v", ct.CPUSet)
+	}
+}
+
+func TestNativeDeployment(t *testing.T) {
+	c := chameleon(t)
+	d, err := Native(c, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 256 {
+		t.Fatalf("size = %d", d.Size())
+	}
+	hr := d.HostRanks()
+	if len(hr) != 16 {
+		t.Fatalf("ranks spread over %d hosts, want 16", len(hr))
+	}
+	for hi, ranks := range hr {
+		if len(ranks) != 16 {
+			t.Errorf("host %d has %d ranks, want 16", hi, len(ranks))
+		}
+	}
+	if !d.Placements[0].Env.IsNative() {
+		t.Error("native deployment must use native envs")
+	}
+}
+
+func TestContainerDeploymentGeometry(t *testing.T) {
+	c := chameleon(t)
+	d, err := Containers(c, 4, 256, PaperScenarioOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Scenario != "4-Containers" {
+		t.Errorf("scenario = %q", d.Scenario)
+	}
+	// 16 ranks per host, 4 per container; container cpusets disjoint.
+	perHost := d.HostRanks()
+	for _, ranks := range perHost {
+		if len(ranks) != 16 {
+			t.Fatalf("host rank count = %d", len(ranks))
+		}
+	}
+	// Ranks 0-3 share a container; rank 4 is in the next one on host 0.
+	e0, e3, e4 := d.Placements[0].Env, d.Placements[3].Env, d.Placements[4].Env
+	if e0 != e3 {
+		t.Error("ranks 0 and 3 should share container")
+	}
+	if e0 == e4 {
+		t.Error("ranks 0 and 4 should be in different containers")
+	}
+	if !e0.SameHost(e4) {
+		t.Error("ranks 0 and 4 should be co-resident")
+	}
+	if e0.SharesNamespace(UTS, e4) {
+		t.Error("distinct containers should have distinct hostnames")
+	}
+	if !e0.SharesNamespace(IPC, e4) {
+		t.Error("paper opts should share IPC across containers")
+	}
+}
+
+func TestContainerDeploymentRejectsBadShapes(t *testing.T) {
+	c := chameleon(t)
+	if _, err := Containers(c, 3, 256, PaperScenarioOpts()); err == nil {
+		t.Error("16 ranks/host across 3 containers should fail divisibility")
+	}
+	if _, err := Containers(c, 2, 255, PaperScenarioOpts()); err == nil {
+		t.Error("255 ranks over 16 hosts should fail divisibility")
+	}
+	if _, err := Native(c, 16*25); err == nil {
+		t.Error("oversubscription should be rejected")
+	}
+	if _, err := Containers(c, 0, 256, PaperScenarioOpts()); err == nil {
+		t.Error("0 containers per host should be rejected")
+	}
+}
+
+func TestSingleHostScenariosForFig1(t *testing.T) {
+	// Fig. 1: 16 processes on one host as native / 1 / 2 / 4 containers.
+	spec := Spec{Hosts: 1, SocketsPerHost: 2, CoresPerSocket: 12, HCAsPerHost: 1}
+	c := MustNew(spec)
+	if d, err := Native(c, 16); err != nil || d.Size() != 16 {
+		t.Fatalf("native: %v", err)
+	}
+	for _, nc := range []int{1, 2, 4} {
+		c := MustNew(spec)
+		d, err := Containers(c, nc, 16, PaperScenarioOpts())
+		if err != nil {
+			t.Fatalf("%d containers: %v", nc, err)
+		}
+		envs := map[*Container]bool{}
+		for _, pl := range d.Placements {
+			envs[pl.Env] = true
+		}
+		if len(envs) != nc {
+			t.Errorf("%d-container scenario uses %d containers", nc, len(envs))
+		}
+	}
+}
+
+func TestTwoContainerSocketPairs(t *testing.T) {
+	c := chameleon(t)
+	intra, err := TwoContainersSockets(c, true, PaperScenarioOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intra.Placements[0].Socket() != intra.Placements[1].Socket() {
+		t.Error("intra-socket pair on different sockets")
+	}
+	inter, err := TwoContainersSockets(c, false, PaperScenarioOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter.Placements[0].Socket() == inter.Placements[1].Socket() {
+		t.Error("inter-socket pair on same socket")
+	}
+	if !strings.Contains(inter.Scenario, "InterSocket") {
+		t.Errorf("scenario label %q", inter.Scenario)
+	}
+	np, err := NativePair(c, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np.Placements[0].Socket() == np.Placements[1].Socket() {
+		t.Error("native inter-socket pair on same socket")
+	}
+}
+
+func TestDeploymentValidateCatchesCorruption(t *testing.T) {
+	c := chameleon(t)
+	d, err := Native(c, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Placements[3].Rank = 7
+	if err := d.Validate(); err == nil {
+		t.Error("rank permutation not caught")
+	}
+	d.Placements[3].Rank = 3
+	d.Placements[3].Core = 99
+	if err := d.Validate(); err == nil {
+		t.Error("core out of range not caught")
+	}
+}
+
+func TestHostRanksPartitionProperty(t *testing.T) {
+	c := chameleon(t)
+	f := func(perHostRaw uint8) bool {
+		perHost := 1 + int(perHostRaw)%16
+		procs := perHost * 16
+		cc := MustNew(ChameleonSpec())
+		d, err := Native(cc, procs)
+		if err != nil {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, ranks := range d.HostRanks() {
+			for _, r := range ranks {
+				if seen[r] {
+					return false // rank on two hosts
+				}
+				seen[r] = true
+			}
+		}
+		_ = c
+		return len(seen) == procs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

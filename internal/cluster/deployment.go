@@ -1,0 +1,237 @@
+package cluster
+
+import "fmt"
+
+// Placement binds one MPI rank to an execution environment and a core.
+type Placement struct {
+	// Rank is the global MPI rank.
+	Rank int
+	// Env is the container (or native environment) the rank runs in.
+	Env *Container
+	// Core is the host-local core the rank is pinned to.
+	Core int
+}
+
+// Socket returns the socket index of the placement's core.
+func (pl Placement) Socket() int { return pl.Env.Host.SocketOf(pl.Core) }
+
+// Deployment is a full rank-to-container mapping for one MPI job.
+type Deployment struct {
+	// Scenario is a human-readable label ("Native", "2-Containers", ...).
+	Scenario string
+	// Cluster is the hardware the job runs on.
+	Cluster *Cluster
+	// Placements maps rank -> placement; len(Placements) is the job size.
+	Placements []Placement
+}
+
+// Size is the number of ranks in the job.
+func (d *Deployment) Size() int { return len(d.Placements) }
+
+// Validate checks rank density, core bounds and cpuset consistency.
+func (d *Deployment) Validate() error {
+	if len(d.Placements) == 0 {
+		return fmt.Errorf("deployment %q: no ranks", d.Scenario)
+	}
+	for i, pl := range d.Placements {
+		if pl.Rank != i {
+			return fmt.Errorf("deployment %q: placement %d has rank %d", d.Scenario, i, pl.Rank)
+		}
+		if pl.Env == nil {
+			return fmt.Errorf("deployment %q: rank %d has no environment", d.Scenario, i)
+		}
+		h := pl.Env.Host
+		if pl.Core < 0 || pl.Core >= h.Cores() {
+			return fmt.Errorf("deployment %q: rank %d pinned to core %d of %d-core %s",
+				d.Scenario, i, pl.Core, h.Cores(), h.Name)
+		}
+		if len(pl.Env.CPUSet) > 0 && !containsInt(pl.Env.CPUSet, pl.Core) {
+			return fmt.Errorf("deployment %q: rank %d core %d outside container cpuset %v",
+				d.Scenario, i, pl.Core, pl.Env.CPUSet)
+		}
+	}
+	return nil
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// HostRanks groups ranks by host index (the ground-truth locality that the
+// paper's detector recovers at runtime).
+func (d *Deployment) HostRanks() map[int][]int {
+	m := make(map[int][]int)
+	for _, pl := range d.Placements {
+		hi := pl.Env.Host.Index
+		m[hi] = append(m[hi], pl.Rank)
+	}
+	return m
+}
+
+// ScenarioOpts configures the standard scenario builders.
+type ScenarioOpts struct {
+	// Privileged, ShareHostIPC, ShareHostPID mirror the paper's docker
+	// settings. The paper enables all three; builders default to that via
+	// PaperScenarioOpts.
+	Privileged   bool
+	ShareHostIPC bool
+	ShareHostPID bool
+	// ShareHostUTS makes containers adopt the host hostname (ablation; the
+	// paper never does this).
+	ShareHostUTS bool
+}
+
+// PaperScenarioOpts is the paper's container runtime configuration:
+// privileged containers sharing the host's IPC and PID namespaces but each
+// with a unique hostname.
+func PaperScenarioOpts() ScenarioOpts {
+	return ScenarioOpts{Privileged: true, ShareHostIPC: true, ShareHostPID: true}
+}
+
+// IsolatedScenarioOpts is a fully isolated container configuration (private
+// IPC and PID namespaces, still privileged for HCA access). With it, SHM and
+// CMA are impossible across containers and even the locality-aware library
+// must fall back to the HCA channel.
+func IsolatedScenarioOpts() ScenarioOpts {
+	return ScenarioOpts{Privileged: true}
+}
+
+// Native places procs ranks across all hosts of c in block order, running
+// directly on the hosts (no containers), pinned to consecutive cores.
+func Native(c *Cluster, procs int) (*Deployment, error) {
+	if err := checkDivisible(procs, c.Spec.Hosts, "hosts"); err != nil {
+		return nil, err
+	}
+	perHost := procs / c.Spec.Hosts
+	if perHost > c.Spec.CoresPerHost() {
+		return nil, fmt.Errorf("native: %d ranks/host exceeds %d cores", perHost, c.Spec.CoresPerHost())
+	}
+	d := &Deployment{Scenario: "Native", Cluster: c}
+	for r := 0; r < procs; r++ {
+		h := c.Host(r / perHost)
+		d.Placements = append(d.Placements, Placement{Rank: r, Env: h.NativeEnv(), Core: r % perHost})
+	}
+	return d, d.Validate()
+}
+
+// Containers deploys containersPerHost containers on every host of c and
+// places procs ranks into them in block order (rank blocks fill container 0
+// of host 0, then container 1 of host 0, ...). Containers are pinned to
+// disjoint consecutive core ranges, as in the paper's evaluation setup.
+func Containers(c *Cluster, containersPerHost, procs int, opts ScenarioOpts) (*Deployment, error) {
+	if containersPerHost <= 0 {
+		return nil, fmt.Errorf("containers: containersPerHost = %d", containersPerHost)
+	}
+	if err := checkDivisible(procs, c.Spec.Hosts, "hosts"); err != nil {
+		return nil, err
+	}
+	perHost := procs / c.Spec.Hosts
+	if err := checkDivisible(perHost, containersPerHost, "containers per host"); err != nil {
+		return nil, err
+	}
+	perCont := perHost / containersPerHost
+	if perHost > c.Spec.CoresPerHost() {
+		return nil, fmt.Errorf("containers: %d ranks/host exceeds %d cores", perHost, c.Spec.CoresPerHost())
+	}
+	name := fmt.Sprintf("%d-Container", containersPerHost)
+	if containersPerHost > 1 {
+		name += "s"
+	}
+	d := &Deployment{Scenario: name, Cluster: c}
+	for hi := 0; hi < c.Spec.Hosts; hi++ {
+		h := c.Host(hi)
+		for ci := 0; ci < containersPerHost; ci++ {
+			cpus := make([]int, perCont)
+			for k := range cpus {
+				cpus[k] = ci*perCont + k
+			}
+			ct, err := h.RunContainer(RunOpts{
+				Privileged:   opts.Privileged,
+				ShareHostIPC: opts.ShareHostIPC,
+				ShareHostPID: opts.ShareHostPID,
+				ShareHostUTS: opts.ShareHostUTS,
+				CPUSet:       cpus,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for k := 0; k < perCont; k++ {
+				rank := hi*perHost + ci*perCont + k
+				d.Placements = append(d.Placements, Placement{Rank: rank, Env: ct, Core: cpus[k]})
+			}
+		}
+	}
+	return d, d.Validate()
+}
+
+// TwoContainersSockets places two single-rank containers on host 0 for the
+// point-to-point experiments of Fig. 8/9: sameSocket selects the
+// intra-socket (cores 0,1) or inter-socket (core 0 and first core of socket
+// 1) pinning.
+func TwoContainersSockets(c *Cluster, sameSocket bool, opts ScenarioOpts) (*Deployment, error) {
+	h := c.Host(0)
+	core0 := 0
+	core1 := 1
+	label := "2-Containers-IntraSocket"
+	if !sameSocket {
+		core1 = c.Spec.CoresPerSocket // first core of socket 1
+		label = "2-Containers-InterSocket"
+	}
+	if core1 >= h.Cores() {
+		return nil, fmt.Errorf("host has %d cores, cannot pin inter-socket pair", h.Cores())
+	}
+	mk := func(core int) (*Container, error) {
+		return h.RunContainer(RunOpts{
+			Privileged:   opts.Privileged,
+			ShareHostIPC: opts.ShareHostIPC,
+			ShareHostPID: opts.ShareHostPID,
+			ShareHostUTS: opts.ShareHostUTS,
+			CPUSet:       []int{core},
+		})
+	}
+	c0, err := mk(core0)
+	if err != nil {
+		return nil, err
+	}
+	c1, err := mk(core1)
+	if err != nil {
+		return nil, err
+	}
+	d := &Deployment{Scenario: label, Cluster: c, Placements: []Placement{
+		{Rank: 0, Env: c0, Core: core0},
+		{Rank: 1, Env: c1, Core: core1},
+	}}
+	return d, d.Validate()
+}
+
+// NativePair places two native ranks on host 0 with the same socket
+// geometry as TwoContainersSockets, for the "Native" series of Fig. 8/9.
+func NativePair(c *Cluster, sameSocket bool) (*Deployment, error) {
+	h := c.Host(0)
+	core1 := 1
+	label := "Native-IntraSocket"
+	if !sameSocket {
+		core1 = c.Spec.CoresPerSocket
+		label = "Native-InterSocket"
+	}
+	if core1 >= h.Cores() {
+		return nil, fmt.Errorf("host has %d cores, cannot pin inter-socket pair", h.Cores())
+	}
+	d := &Deployment{Scenario: label, Cluster: c, Placements: []Placement{
+		{Rank: 0, Env: h.NativeEnv(), Core: 0},
+		{Rank: 1, Env: h.NativeEnv(), Core: core1},
+	}}
+	return d, d.Validate()
+}
+
+func checkDivisible(n, by int, what string) error {
+	if by == 0 || n%by != 0 {
+		return fmt.Errorf("%d ranks not divisible across %d %s", n, by, what)
+	}
+	return nil
+}

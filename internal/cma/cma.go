@@ -1,0 +1,56 @@
+// Package cma models Cross Memory Attach — the process_vm_readv and
+// process_vm_writev system calls that let one process copy memory directly
+// from/to another process's address space with a single copy.
+//
+// The kernel permits the calls only when the caller can see the target
+// process, which in container terms means the two processes share a PID
+// namespace (plus ptrace permission, which the paper's privileged
+// same-user containers satisfy). The permission check here is what makes
+// CMA available across the paper's --pid=host containers and unavailable
+// across isolated ones.
+package cma
+
+import (
+	"fmt"
+
+	"cmpi/internal/cluster"
+)
+
+// ErrNotPermitted is returned when the caller cannot address the target
+// process (different host or unshared PID namespace).
+var ErrNotPermitted = fmt.Errorf("cma: operation not permitted (no shared PID namespace)")
+
+// CanAccess reports whether a process in env a may issue process_vm_* calls
+// against a process in env b.
+func CanAccess(a, b *cluster.Container) bool {
+	return a.SameHost(b) && a.SharesNamespace(cluster.PID, b)
+}
+
+// Readv copies len(dst) bytes from the remote buffer src (owned by a
+// process in remoteEnv) into dst, on behalf of a process in callerEnv.
+// It returns the byte count copied, mirroring process_vm_readv. The copy is
+// real: simulated payloads actually move. Time accounting is the caller's
+// responsibility (see perf.Params.CMACopy) because only the caller knows
+// which core/socket it runs on.
+func Readv(callerEnv, remoteEnv *cluster.Container, dst, src []byte) (int, error) {
+	if !CanAccess(callerEnv, remoteEnv) {
+		return 0, ErrNotPermitted
+	}
+	if len(dst) > len(src) {
+		return 0, fmt.Errorf("cma: readv wants %d bytes, remote iov has %d", len(dst), len(src))
+	}
+	return copy(dst, src[:len(dst)]), nil
+}
+
+// Writev copies len(src) bytes into the remote buffer dst (owned by a
+// process in remoteEnv) on behalf of a process in callerEnv, mirroring
+// process_vm_writev.
+func Writev(callerEnv, remoteEnv *cluster.Container, dst, src []byte) (int, error) {
+	if !CanAccess(callerEnv, remoteEnv) {
+		return 0, ErrNotPermitted
+	}
+	if len(src) > len(dst) {
+		return 0, fmt.Errorf("cma: writev wants %d bytes, remote iov has %d", len(src), len(dst))
+	}
+	return copy(dst[:len(src)], src), nil
+}

@@ -1,0 +1,124 @@
+package cma
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"cmpi/internal/cluster"
+)
+
+func setup(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Spec{Hosts: 2, SocketsPerHost: 2, CoresPerSocket: 4, HCAsPerHost: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAccessMatrix(t *testing.T) {
+	c := setup(t)
+	h0, h1 := c.Host(0), c.Host(1)
+	sharedA, _ := h0.RunContainer(cluster.RunOpts{ShareHostPID: true})
+	sharedB, _ := h0.RunContainer(cluster.RunOpts{ShareHostPID: true})
+	isolated, _ := h0.RunContainer(cluster.RunOpts{})
+	remote, _ := h1.RunContainer(cluster.RunOpts{ShareHostPID: true})
+	native := h0.NativeEnv()
+
+	cases := []struct {
+		name string
+		a, b *cluster.Container
+		want bool
+	}{
+		{"shared-pid pair", sharedA, sharedB, true},
+		{"container with native", sharedA, native, true},
+		{"same container", isolated, isolated, true},
+		{"isolated pair", sharedA, isolated, false},
+		{"cross host", sharedA, remote, false},
+		{"native cross host", native, remote, false},
+	}
+	for _, tc := range cases {
+		if got := CanAccess(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: CanAccess = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestReadvMovesBytes(t *testing.T) {
+	c := setup(t)
+	h := c.Host(0)
+	a, _ := h.RunContainer(cluster.RunOpts{ShareHostPID: true})
+	b, _ := h.RunContainer(cluster.RunOpts{ShareHostPID: true})
+
+	src := []byte("the quick brown fox")
+	dst := make([]byte, len(src))
+	n, err := Readv(a, b, dst, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(src) || !bytes.Equal(dst, src) {
+		t.Fatalf("readv copied %d bytes, dst=%q", n, dst)
+	}
+}
+
+func TestWritevMovesBytes(t *testing.T) {
+	c := setup(t)
+	h := c.Host(0)
+	a, _ := h.RunContainer(cluster.RunOpts{ShareHostPID: true})
+	b, _ := h.RunContainer(cluster.RunOpts{ShareHostPID: true})
+
+	dst := make([]byte, 8)
+	n, err := Writev(a, b, dst, []byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || dst[0] != 1 || dst[2] != 3 || dst[3] != 0 {
+		t.Fatalf("writev result n=%d dst=%v", n, dst)
+	}
+}
+
+func TestPermissionDenied(t *testing.T) {
+	c := setup(t)
+	a, _ := c.Host(0).RunContainer(cluster.RunOpts{}) // private PID ns
+	b, _ := c.Host(0).RunContainer(cluster.RunOpts{})
+	if _, err := Readv(a, b, make([]byte, 1), []byte{1}); !errors.Is(err, ErrNotPermitted) {
+		t.Fatalf("readv err = %v, want ErrNotPermitted", err)
+	}
+	if _, err := Writev(a, b, make([]byte, 1), []byte{1}); !errors.Is(err, ErrNotPermitted) {
+		t.Fatalf("writev err = %v, want ErrNotPermitted", err)
+	}
+}
+
+func TestShortBuffers(t *testing.T) {
+	c := setup(t)
+	native := c.Host(0).NativeEnv()
+	if _, err := Readv(native, native, make([]byte, 10), make([]byte, 5)); err == nil {
+		t.Error("readv beyond remote iov should fail")
+	}
+	if _, err := Writev(native, native, make([]byte, 5), make([]byte, 10)); err == nil {
+		t.Error("writev beyond remote iov should fail")
+	}
+}
+
+func TestCopyRoundTripProperty(t *testing.T) {
+	c := setup(t)
+	h := c.Host(0)
+	a, _ := h.RunContainer(cluster.RunOpts{ShareHostPID: true})
+	b, _ := h.RunContainer(cluster.RunOpts{ShareHostPID: true})
+	f := func(payload []byte) bool {
+		remote := make([]byte, len(payload))
+		if _, err := Writev(a, b, remote, payload); err != nil {
+			return false
+		}
+		back := make([]byte, len(payload))
+		if _, err := Readv(a, b, back, remote); err != nil {
+			return false
+		}
+		return bytes.Equal(back, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,236 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Figs. 1, 3, 7-12 and Table I) on the simulated testbed. Each
+// experiment returns a Table whose rows mirror the series the paper plots;
+// cmd/repro renders them and bench_test.go wraps them as benchmarks.
+//
+// Two scales are provided: Quick (CI-sized, same shapes) and Full (the
+// paper's geometry — 16 hosts, up to 256 ranks, 4 containers per host —
+// with simulation-tractable problem sizes).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cmpi/internal/cluster"
+	"cmpi/internal/core"
+	"cmpi/internal/mpi"
+	"cmpi/internal/osu"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+// Quick is CI-sized; Full reproduces the paper's deployment geometry.
+const (
+	Quick Scale = iota
+	Full
+)
+
+// Table is one rendered experiment.
+type Table struct {
+	// ID is the paper artifact ("Figure 1", "Table I", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells, stringified.
+	Rows [][]string
+	// Notes records the paper's claim and how to read the table.
+	Notes string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// RenderCSV writes a machine-readable rendering (one header row, comma
+// separation, cells quoted only when needed) for downstream plotting.
+func (t *Table) RenderCSV(w io.Writer) {
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			fmt.Fprint(w, c)
+		}
+		fmt.Fprintln(w)
+	}
+	row(t.Columns)
+	for _, r := range t.Rows {
+		row(r)
+	}
+}
+
+// Render writes an aligned text rendering.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(w, "  -- %s\n", t.Notes)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment is a named, runnable paper artifact.
+type Experiment struct {
+	// ID matches the paper ("fig1", "fig3a", "tableI", ...).
+	ID string
+	// Run produces the table at the given scale.
+	Run func(sc Scale) (*Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "fig1", Run: Figure1},
+		{ID: "fig3a", Run: Figure3a},
+		{ID: "fig3bc", Run: Figure3bc},
+		{ID: "tableI", Run: TableI},
+		{ID: "fig7a", Run: Figure7a},
+		{ID: "fig7b", Run: Figure7b},
+		{ID: "fig7c", Run: Figure7c},
+		{ID: "fig8", Run: Figure8},
+		{ID: "fig9", Run: Figure9},
+		{ID: "fig10", Run: Figure10},
+		{ID: "fig11", Run: Figure11},
+		{ID: "fig12", Run: Figure12},
+		{ID: "ext-scaling", Run: ScalingExtension},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- shared world builders -------------------------------------------------
+
+// testbedSpec is the Chameleon node model used throughout.
+func testbedSpec(hosts int) cluster.Spec {
+	return cluster.Spec{Hosts: hosts, SocketsPerHost: 2, CoresPerSocket: 12, HCAsPerHost: 1}
+}
+
+// singleHostDeploy builds the Fig. 1 scenarios: 16 procs on one host as
+// native or in 1/2/4 containers.
+func singleHostDeploy(containers, procs int) (*cluster.Deployment, error) {
+	c := cluster.MustNew(testbedSpec(1))
+	if containers == 0 {
+		return cluster.Native(c, procs)
+	}
+	return cluster.Containers(c, containers, procs, cluster.PaperScenarioOpts())
+}
+
+// clusterDeploy builds the multi-host scenarios of Figs. 10/12.
+func clusterDeploy(hosts, containersPerHost, procs int, native bool) (*cluster.Deployment, error) {
+	c := cluster.MustNew(testbedSpec(hosts))
+	if native {
+		return cluster.Native(c, procs)
+	}
+	return cluster.Containers(c, containersPerHost, procs, cluster.PaperScenarioOpts())
+}
+
+// newWorld wraps mpi.NewWorld with the chosen mode and profiling flag.
+func newWorld(d *cluster.Deployment, mode core.Mode, prof bool) (*mpi.World, error) {
+	opts := mpi.DefaultOptions()
+	opts.Mode = mode
+	opts.Profile = prof
+	return mpi.NewWorld(d, opts)
+}
+
+// pairWorld builds the 2-rank pt2pt worlds of Figs. 3/7/8/9.
+func pairWorld(containerized, sameSocket bool, mode core.Mode, tweak func(*mpi.Options)) (*mpi.World, error) {
+	c := cluster.MustNew(testbedSpec(1))
+	var d *cluster.Deployment
+	var err error
+	if containerized {
+		d, err = cluster.TwoContainersSockets(c, sameSocket, cluster.PaperScenarioOpts())
+	} else {
+		d, err = cluster.NativePair(c, sameSocket)
+	}
+	if err != nil {
+		return nil, err
+	}
+	opts := mpi.DefaultOptions()
+	opts.Mode = mode
+	if tweak != nil {
+		tweak(&opts)
+	}
+	return mpi.NewWorld(d, opts)
+}
+
+// interHostPairWorld builds a 2-rank world across two hosts (Fig. 7c).
+func interHostPairWorld(tweak func(*mpi.Options)) (*mpi.World, error) {
+	c := cluster.MustNew(testbedSpec(2))
+	d, err := cluster.Containers(c, 1, 2, cluster.PaperScenarioOpts())
+	if err != nil {
+		return nil, err
+	}
+	opts := mpi.DefaultOptions()
+	if tweak != nil {
+		tweak(&opts)
+	}
+	return mpi.NewWorld(d, opts)
+}
+
+// osuCfg returns iteration counts per scale.
+func osuCfg(sc Scale) osu.Config {
+	if sc == Full {
+		return osu.Config{Iters: 200, Warmup: 20, Window: 64}
+	}
+	return osu.Config{Iters: 40, Warmup: 5, Window: 32}
+}
+
+// fmtF renders a float with sensible precision.
+func fmtF(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v < 1:
+		return fmt.Sprintf("%.3f", v)
+	case v < 100:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// pct renders a ratio as a percentage-improvement string.
+func pct(base, improved float64) string {
+	if base <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0f%%", (base-improved)/base*100)
+}

@@ -1,0 +1,188 @@
+package graph500
+
+import (
+	"testing"
+
+	"cmpi/internal/cluster"
+	"cmpi/internal/core"
+	"cmpi/internal/mpi"
+	"cmpi/internal/sim"
+)
+
+// singleHostWorld builds the paper's Fig. 1 setups: 16 procs on one host.
+func singleHostWorld(t *testing.T, containersPerHost, procs int, mode core.Mode) *mpi.World {
+	t.Helper()
+	spec := cluster.Spec{Hosts: 1, SocketsPerHost: 2, CoresPerSocket: 12, HCAsPerHost: 1}
+	c := cluster.MustNew(spec)
+	var d *cluster.Deployment
+	var err error
+	if containersPerHost == 0 {
+		d, err = cluster.Native(c, procs)
+	} else {
+		d, err = cluster.Containers(c, containersPerHost, procs, cluster.PaperScenarioOpts())
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := mpi.DefaultOptions()
+	opts.Mode = mode
+	w, err := mpi.NewWorld(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func smallParams() Params {
+	p := DefaultParams(10) // 1024 vertices, 16K edges
+	p.Roots = 2
+	return p
+}
+
+func TestBFSValidatesAcrossScenariosAndModes(t *testing.T) {
+	for _, nc := range []int{0, 1, 2, 4} {
+		for _, mode := range []core.Mode{core.ModeDefault, core.ModeLocalityAware} {
+			w := singleHostWorld(t, nc, 8, mode)
+			res, err := Run(w, smallParams())
+			if err != nil {
+				t.Fatalf("containers=%d mode=%v: %v", nc, mode, err)
+			}
+			if !res.Validated {
+				t.Fatalf("containers=%d: validation did not run", nc)
+			}
+			if res.MeanBFS <= 0 || res.TEPS <= 0 {
+				t.Fatalf("containers=%d: degenerate result %+v", nc, res)
+			}
+			if res.VisitedMean < 2 {
+				t.Fatalf("containers=%d: BFS visited only %v vertices", nc, res.VisitedMean)
+			}
+		}
+	}
+}
+
+func TestBFSVisitsGiantComponent(t *testing.T) {
+	w := singleHostWorld(t, 2, 8, core.ModeLocalityAware)
+	p := DefaultParams(12)
+	p.Roots = 2
+	res, err := Run(w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kronecker graphs at edgefactor 16 have a giant component holding
+	// most non-isolated vertices; expect a third of all vertices at least.
+	if res.VisitedMean < float64(res.NVertices)/3 {
+		t.Errorf("visited %v of %d vertices, expected a giant component", res.VisitedMean, res.NVertices)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() Result {
+		w := singleHostWorld(t, 2, 8, core.ModeLocalityAware)
+		res, err := Run(w, smallParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.MeanBFS != b.MeanBFS || a.TEPS != b.TEPS || a.VisitedMean != b.VisitedMean {
+		t.Errorf("nondeterministic results: %+v vs %+v", a, b)
+	}
+}
+
+func TestRankCountInvariance(t *testing.T) {
+	// The graph is defined by the seed; visited counts must not depend on
+	// how many ranks run the traversal.
+	visited := map[int]float64{}
+	for _, procs := range []int{2, 4, 8} {
+		w := singleHostWorld(t, 2, procs, core.ModeLocalityAware)
+		p := smallParams()
+		res, err := Run(w, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		visited[procs] = res.VisitedMean
+	}
+	if visited[2] != visited[4] || visited[4] != visited[8] {
+		t.Errorf("visited counts vary with rank count: %v", visited)
+	}
+}
+
+func TestPaperFig1Shape(t *testing.T) {
+	// Default MPI library: BFS time should stay ~flat from native to
+	// 1 container, then climb as containers are added (Fig. 1).
+	times := map[int]sim.Time{}
+	for _, nc := range []int{0, 1, 2, 4} {
+		w := singleHostWorld(t, nc, 8, core.ModeDefault)
+		p := DefaultParams(12)
+		p.Roots = 2
+		p.Validate = false
+		res, err := Run(w, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[nc] = res.MeanBFS
+	}
+	native, one, two, four := times[0], times[1], times[2], times[4]
+	if ratio := float64(one) / float64(native); ratio > 1.15 {
+		t.Errorf("1-container/native = %.2f, want near 1 (paper: similar)", ratio)
+	}
+	if two <= one {
+		t.Errorf("2-container (%v) should be slower than 1-container (%v)", two, one)
+	}
+	if four <= two {
+		t.Errorf("4-container (%v) should be slower than 2-container (%v)", four, two)
+	}
+	if float64(two) < 1.3*float64(one) {
+		t.Errorf("2-container degradation only %.2fx, paper shows a significant increase", float64(two)/float64(one))
+	}
+}
+
+func TestPaperFig11Shape(t *testing.T) {
+	// Locality-aware library: BFS time stays ~flat across all scenarios.
+	times := map[int]sim.Time{}
+	for _, nc := range []int{0, 1, 2, 4} {
+		w := singleHostWorld(t, nc, 8, core.ModeLocalityAware)
+		p := DefaultParams(12)
+		p.Roots = 2
+		p.Validate = false
+		res, err := Run(w, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[nc] = res.MeanBFS
+	}
+	for _, nc := range []int{1, 2, 4} {
+		if ratio := float64(times[nc]) / float64(times[0]); ratio > 1.1 {
+			t.Errorf("aware %d-container/native = %.2f, want < 1.1 (paper: <5%% overhead)", nc, ratio)
+		}
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	w := singleHostWorld(t, 1, 2, core.ModeLocalityAware)
+	if _, err := Run(w, Params{Scale: 1, EdgeFactor: 16, Roots: 1, CoalesceBytes: 8192}); err == nil {
+		t.Error("scale 1 accepted")
+	}
+	w2 := singleHostWorld(t, 1, 2, core.ModeLocalityAware)
+	if _, err := Run(w2, Params{Scale: 10, EdgeFactor: 0, Roots: 1, CoalesceBytes: 8192}); err == nil {
+		t.Error("edgefactor 0 accepted")
+	}
+	w3 := singleHostWorld(t, 1, 2, core.ModeLocalityAware)
+	if _, err := Run(w3, Params{Scale: 10, EdgeFactor: 16, Roots: 1, CoalesceBytes: 4}); err == nil {
+		t.Error("tiny coalesce buffer accepted")
+	}
+}
+
+func TestBFSLevelStats(t *testing.T) {
+	w := singleHostWorld(t, 2, 8, core.ModeLocalityAware)
+	res, err := Run(w, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A scale-10 Kronecker giant component has a small diameter; the level
+	// count must be positive and far below the vertex count.
+	if res.MaxLevels < 3 || res.MaxLevels > 30 {
+		t.Errorf("MaxLevels = %d, expected a small-world depth in [3,30]", res.MaxLevels)
+	}
+}

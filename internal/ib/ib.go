@@ -1,0 +1,406 @@
+// Package ib models an InfiniBand fabric at the verbs level: devices (one
+// HCA per host), reliable-connected queue pairs, completion queues, memory
+// regions, two-sided SEND/RECV and one-sided RDMA READ/WRITE.
+//
+// Two properties of the model carry the paper's bottleneck analysis:
+//
+//  1. The intra-host loopback path (two co-resident processes talking
+//     through the HCA) is served by a single per-host DMA resource with
+//     higher base latency and lower bandwidth than shared memory — this is
+//     why routing co-resident traffic through the HCA is slow.
+//  2. Links are modeled as serially-reserved resources (cut-through), so
+//     incast and bidirectional traffic contend realistically; the loopback
+//     resource is shared by both directions, which reproduces the paper's
+//     large bidirectional-bandwidth gap.
+//
+// Opening a device from a container requires the privileged runtime flag,
+// mirroring `docker run --privileged` in the paper's setup.
+package ib
+
+import (
+	"fmt"
+
+	"cmpi/internal/cluster"
+	"cmpi/internal/perf"
+	"cmpi/internal/sim"
+)
+
+// Fabric is the switched InfiniBand network of one cluster: one port per
+// host plus a non-blocking switch (full bisection at 16 nodes, as on the
+// paper's testbed).
+type Fabric struct {
+	eng   *sim.Engine
+	prm   *perf.Params
+	ports []*port
+	qpn   int
+}
+
+// port is the per-host HCA attachment point with its link resources.
+type port struct {
+	up   sim.Time // uplink next-free
+	down sim.Time // downlink next-free
+	loop sim.Time // loopback DMA engine next-free (shared by both directions)
+}
+
+// NewFabric builds the fabric for a cluster. Hosts without HCAs get no
+// port; opening a device on them fails.
+func NewFabric(eng *sim.Engine, prm *perf.Params, c *cluster.Cluster) *Fabric {
+	f := &Fabric{eng: eng, prm: prm}
+	for i := 0; i < c.Spec.Hosts; i++ {
+		if c.Spec.HCAsPerHost > 0 {
+			f.ports = append(f.ports, &port{})
+		} else {
+			f.ports = append(f.ports, nil)
+		}
+	}
+	return f
+}
+
+// Device is an opened HCA context bound to one process's environment.
+type Device struct {
+	fabric *Fabric
+	// Env is the container (or native env) that opened the device.
+	Env *cluster.Container
+}
+
+// ErrNoDeviceAccess is returned when a non-privileged container opens the HCA.
+var ErrNoDeviceAccess = fmt.Errorf("ib: device not visible (container lacks --privileged)")
+
+// OpenDevice opens the host HCA from the given environment.
+func (f *Fabric) OpenDevice(env *cluster.Container) (*Device, error) {
+	if f.ports[env.Host.Index] == nil {
+		return nil, fmt.Errorf("ib: host %s has no HCA", env.Host.Name)
+	}
+	if !env.Privileged {
+		return nil, ErrNoDeviceAccess
+	}
+	return &Device{fabric: f, Env: env}, nil
+}
+
+// MR is a registered (pinned) memory region.
+type MR struct {
+	// Buf is the registered buffer; RDMA operations address offsets in it.
+	Buf []byte
+}
+
+// RegisterMR pins buf, charging the registration cost to the calling proc.
+func (d *Device) RegisterMR(p *sim.Proc, buf []byte) *MR {
+	p.Advance(d.fabric.prm.IBRegister(len(buf)))
+	return &MR{Buf: buf}
+}
+
+// Opcode identifies the operation a CQE completes.
+type Opcode int
+
+// Completion opcodes.
+const (
+	OpSend     Opcode = iota // local SEND completed (buffer reusable)
+	OpRecv                   // message landed in a posted receive buffer
+	OpWrite                  // local RDMA WRITE completed (remotely visible)
+	OpWriteImm               // remote CQE for RDMA WRITE WITH IMM
+	OpRead                   // local RDMA READ completed (data in local buffer)
+)
+
+// String names the opcode for diagnostics.
+func (o Opcode) String() string {
+	switch o {
+	case OpSend:
+		return "SEND"
+	case OpRecv:
+		return "RECV"
+	case OpWrite:
+		return "WRITE"
+	case OpWriteImm:
+		return "WRITE_IMM"
+	case OpRead:
+		return "READ"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// CQE is one completion entry.
+type CQE struct {
+	// QP is the queue pair the completion belongs to.
+	QP *QP
+	// WRID echoes the work-request ID given at post time (0 for remote
+	// WRITE_IMM completions).
+	WRID uint64
+	// Op is the completed operation.
+	Op Opcode
+	// Bytes is the payload size.
+	Bytes int
+	// Imm carries the immediate value for OpWriteImm.
+	Imm uint64
+	// Buf holds the delivered payload for auto-receive QPs (SRQ-style
+	// delivery into a runtime-managed bounce buffer); nil otherwise.
+	Buf []byte
+}
+
+// CQ is a completion queue. One CQ may serve many QPs (the MPI runtime uses
+// a single CQ per rank). SetWaiter registers the simulated process to wake
+// when a completion arrives.
+type CQ struct {
+	dev     *Device
+	entries []CQE
+	waiter  *sim.Proc
+}
+
+// CreateCQ allocates a completion queue on the device.
+func (d *Device) CreateCQ() *CQ {
+	return &CQ{dev: d}
+}
+
+// SetWaiter registers p to be unparked whenever a CQE is pushed.
+func (q *CQ) SetWaiter(p *sim.Proc) { q.waiter = p }
+
+// push appends a completion at virtual time t and wakes the waiter.
+func (q *CQ) push(t sim.Time, e CQE) {
+	q.entries = append(q.entries, e)
+	if q.waiter != nil {
+		q.waiter.UnparkAt(t)
+	}
+}
+
+// Poll drains and returns all available completions, charging the poll
+// overhead only when completions were found (an empty poll models as free,
+// matching the spin-wait pattern of MPI progress engines where the cost of
+// idle polling is already covered by the blocked wait).
+func (q *CQ) Poll(p *sim.Proc) []CQE {
+	if len(q.entries) == 0 {
+		return nil
+	}
+	p.Advance(q.dev.fabric.prm.IBPollOverhead)
+	out := q.entries
+	q.entries = nil
+	return out
+}
+
+// recvWQE is a posted receive buffer.
+type recvWQE struct {
+	wrid uint64
+	buf  []byte
+}
+
+// inbound is a message that arrived before a receive was posted. Verbs
+// would RNR-NAK here; the model queues instead, which is equivalent under
+// the MPI runtime's credit-free pre-posting discipline and keeps retry
+// logic out of the substrate.
+type inbound struct {
+	payload []byte
+	imm     uint64
+	op      Opcode
+	at      sim.Time
+}
+
+// QP is one side of a reliable-connected queue pair.
+type QP struct {
+	dev    *Device
+	qpn    int
+	peer   *QP
+	sendCQ *CQ
+	recvCQ *CQ
+
+	recvQ []recvWQE
+	inQ   []inbound
+
+	// autoRecv delivers inbound messages into freshly allocated bounce
+	// buffers without posted receives, modeling an SRQ with a shared
+	// buffer pool — what lets an MPI runtime serve O(ranks²) QPs without
+	// O(ranks²) pre-posted buffers.
+	autoRecv bool
+}
+
+// EnableAutoRecv switches the QP to SRQ-style delivery: inbound SENDs
+// complete with CQE.Buf pointing at a runtime-managed bounce buffer, and
+// RDMA WRITE WITH IMM completes without consuming a posted receive.
+func (q *QP) EnableAutoRecv() { q.autoRecv = true }
+
+// QPN returns the queue pair number (unique per fabric).
+func (q *QP) QPN() int { return q.qpn }
+
+// CreateQP allocates a queue pair using the given CQs for send and receive
+// completions (they may be the same CQ).
+func (d *Device) CreateQP(sendCQ, recvCQ *CQ) *QP {
+	d.fabric.qpn++
+	return &QP{dev: d, qpn: d.fabric.qpn, sendCQ: sendCQ, recvCQ: recvCQ}
+}
+
+// Connect transitions a<->b into RTS as an RC pair. Both must be on the
+// same fabric.
+func Connect(a, b *QP) error {
+	if a.dev.fabric != b.dev.fabric {
+		return fmt.Errorf("ib: cannot connect QPs on different fabrics")
+	}
+	if a.peer != nil || b.peer != nil {
+		return fmt.Errorf("ib: QP already connected")
+	}
+	a.peer, b.peer = b, a
+	return nil
+}
+
+// loopback reports whether the pair's endpoints share a host.
+func (q *QP) loopback() bool {
+	return q.dev.Env.Host == q.peer.dev.Env.Host
+}
+
+// transitTimes books link resources for an n-byte transfer posted at t0 and
+// returns (txEnd, arrival): when the sender-side resource is released and
+// when the last byte lands at the receiver.
+func (f *Fabric) transitTimes(src, dst int, n int, t0 sim.Time) (txEnd, arrival sim.Time) {
+	prm := f.prm
+	if src == dst {
+		pt := f.ports[src]
+		occ := prm.IBOpOccupancy(n, true)
+		start := maxT(pt.loop, t0)
+		pt.loop = start + occ
+		return pt.loop, start + occ + prm.IBWireLatencyLoop
+	}
+	occ := prm.IBOpOccupancy(n, false)
+	up, down := f.ports[src], f.ports[dst]
+	startTx := maxT(up.up, t0)
+	up.up = startTx + occ
+	rxStart := maxT(startTx+prm.IBWireLatencyInter, down.down)
+	down.down = rxStart + occ
+	return up.up, down.down
+}
+
+func maxT(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PostRecv posts a receive buffer. If a message already arrived (see
+// inbound), it is delivered immediately.
+func (q *QP) PostRecv(p *sim.Proc, wrid uint64, buf []byte) {
+	if len(q.inQ) > 0 {
+		msg := q.inQ[0]
+		q.inQ = q.inQ[1:]
+		q.deliver(maxT(p.Now(), msg.at), wrid, buf, msg.payload, msg.op, msg.imm)
+		return
+	}
+	q.recvQ = append(q.recvQ, recvWQE{wrid: wrid, buf: buf})
+}
+
+// deliver lands payload into a posted buffer and completes the receive.
+func (q *QP) deliver(t sim.Time, wrid uint64, buf, payload []byte, op Opcode, imm uint64) {
+	if len(payload) > len(buf) {
+		// Verbs would complete with IBV_WC_LOC_LEN_ERR; the runtime never
+		// does this, so treat it as a substrate bug.
+		panic(fmt.Sprintf("ib: %d-byte message overflows %d-byte posted recv", len(payload), len(buf)))
+	}
+	copy(buf, payload)
+	q.recvCQ.push(t, CQE{QP: q, WRID: wrid, Op: op, Bytes: len(payload), Imm: imm})
+}
+
+// PostSend transmits payload two-sided: it consumes a posted receive at the
+// peer and generates OpRecv there and OpSend locally. The payload is
+// snapshotted at post time (the sender must anyway not touch the buffer
+// until the send completes). imm rides along and is visible in the peer's
+// CQE.
+func (q *QP) PostSend(p *sim.Proc, wrid uint64, payload []byte, imm uint64) {
+	if q.peer == nil {
+		p.Fatalf("ib: PostSend on unconnected QP %d", q.qpn)
+	}
+	prm := q.dev.fabric.prm
+	p.Advance(prm.IBPostOverhead)
+	t0 := p.Now()
+	snapshot := append([]byte(nil), payload...)
+	f := q.dev.fabric
+	txEnd, arrival := f.transitTimes(q.dev.Env.Host.Index, q.peer.dev.Env.Host.Index, len(snapshot)+hdrBytes, t0)
+	peer := q.peer
+	f.eng.At(arrival, func() {
+		if peer.autoRecv {
+			peer.recvCQ.push(arrival, CQE{QP: peer, Op: OpRecv, Bytes: len(snapshot), Imm: imm, Buf: snapshot})
+			return
+		}
+		if len(peer.recvQ) > 0 {
+			wqe := peer.recvQ[0]
+			peer.recvQ = peer.recvQ[1:]
+			peer.deliver(arrival, wqe.wrid, wqe.buf, snapshot, OpRecv, imm)
+			return
+		}
+		peer.inQ = append(peer.inQ, inbound{payload: snapshot, imm: imm, op: OpRecv, at: arrival})
+	})
+	sq := q.sendCQ
+	f.eng.At(txEnd, func() {
+		sq.push(txEnd, CQE{QP: q, WRID: wrid, Op: OpSend, Bytes: len(snapshot)})
+	})
+}
+
+// hdrBytes models the transport header per message on the wire.
+const hdrBytes = 48
+
+// PostWrite RDMA-writes src into remote[off:] one-sidedly. If withImm, the
+// peer consumes a posted receive and gets an OpWriteImm CQE carrying imm;
+// otherwise the peer CPU is not involved at all. The local OpWrite CQE is
+// delivered after the remote ack returns.
+func (q *QP) PostWrite(p *sim.Proc, wrid uint64, src []byte, remote *MR, off int, withImm bool, imm uint64) {
+	if q.peer == nil {
+		p.Fatalf("ib: PostWrite on unconnected QP %d", q.qpn)
+	}
+	if off < 0 || off+len(src) > len(remote.Buf) {
+		p.Fatalf("ib: RDMA WRITE of %d bytes at offset %d overflows %d-byte MR", len(src), off, len(remote.Buf))
+	}
+	prm := q.dev.fabric.prm
+	p.Advance(prm.IBPostOverhead)
+	t0 := p.Now()
+	snapshot := append([]byte(nil), src...)
+	f := q.dev.fabric
+	loop := q.loopback()
+	_, arrival := f.transitTimes(q.dev.Env.Host.Index, q.peer.dev.Env.Host.Index, len(snapshot)+hdrBytes, t0)
+	peer := q.peer
+	f.eng.At(arrival, func() {
+		copy(remote.Buf[off:], snapshot)
+		if withImm {
+			switch {
+			case peer.autoRecv:
+				peer.recvCQ.push(arrival, CQE{QP: peer, Op: OpWriteImm, Bytes: len(snapshot), Imm: imm})
+			case len(peer.recvQ) > 0:
+				wqe := peer.recvQ[0]
+				peer.recvQ = peer.recvQ[1:]
+				peer.recvCQ.push(arrival, CQE{QP: peer, WRID: wqe.wrid, Op: OpWriteImm, Bytes: len(snapshot), Imm: imm})
+			default:
+				peer.inQ = append(peer.inQ, inbound{payload: nil, imm: imm, op: OpWriteImm, at: arrival})
+			}
+		}
+	})
+	// Local completion after the ack returns (one extra wire hop).
+	ack := arrival + prm.IBWireLatency(loop)
+	sq := q.sendCQ
+	f.eng.At(ack, func() {
+		sq.push(ack, CQE{QP: q, WRID: wrid, Op: OpWrite, Bytes: len(snapshot)})
+	})
+}
+
+// PostRead RDMA-reads len(dst) bytes from remote[off:] into dst. The remote
+// CPU is not involved; data is snapshotted when the response leaves the
+// remote HCA. Completion is local OpRead.
+func (q *QP) PostRead(p *sim.Proc, wrid uint64, dst []byte, remote *MR, off int) {
+	if q.peer == nil {
+		p.Fatalf("ib: PostRead on unconnected QP %d", q.qpn)
+	}
+	if off < 0 || off+len(dst) > len(remote.Buf) {
+		p.Fatalf("ib: RDMA READ of %d bytes at offset %d overflows %d-byte MR", len(dst), off, len(remote.Buf))
+	}
+	prm := q.dev.fabric.prm
+	p.Advance(prm.IBPostOverhead)
+	t0 := p.Now()
+	f := q.dev.fabric
+	src, dstHost := q.dev.Env.Host.Index, q.peer.dev.Env.Host.Index
+	// Request hop: header-only message to the remote HCA.
+	_, reqArrive := f.transitTimes(src, dstHost, hdrBytes, t0)
+	remoteBuf := remote.Buf
+	sq := q.sendCQ
+	qq := q
+	f.eng.At(reqArrive, func() {
+		// Response hop: data flows remote -> local.
+		snapshot := append([]byte(nil), remoteBuf[off:off+len(dst)]...)
+		_, respArrive := f.transitTimes(dstHost, src, len(dst)+hdrBytes, reqArrive)
+		f.eng.At(respArrive, func() {
+			copy(dst, snapshot)
+			sq.push(respArrive, CQE{QP: qq, WRID: wrid, Op: OpRead, Bytes: len(dst)})
+		})
+	})
+}

@@ -1,0 +1,448 @@
+package ib
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"cmpi/internal/cluster"
+	"cmpi/internal/perf"
+	"cmpi/internal/sim"
+)
+
+type fixture struct {
+	eng    *sim.Engine
+	prm    perf.Params
+	clu    *cluster.Cluster
+	fabric *Fabric
+}
+
+func newFixture(t *testing.T, hosts int) *fixture {
+	t.Helper()
+	clu, err := cluster.New(cluster.Spec{Hosts: hosts, SocketsPerHost: 2, CoresPerSocket: 4, HCAsPerHost: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	prm := perf.Default()
+	return &fixture{eng: eng, prm: prm, clu: clu, fabric: NewFabric(eng, &prm, clu)}
+}
+
+// pairOn builds a connected QP pair (with per-side CQs) between the given envs.
+func (fx *fixture) pairOn(t *testing.T, a, b *cluster.Container) (devA, devB *Device, qa, qb *QP, cqa, cqb *CQ) {
+	t.Helper()
+	devA, err := fx.fabric.OpenDevice(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devB, err = fx.fabric.OpenDevice(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cqa, cqb = devA.CreateCQ(), devB.CreateCQ()
+	qa, qb = devA.CreateQP(cqa, cqa), devB.CreateQP(cqb, cqb)
+	if err := Connect(qa, qb); err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+func waitCQE(p *sim.Proc, cq *CQ, want Opcode) CQE {
+	for {
+		for _, e := range cq.Poll(p) {
+			if e.Op == want {
+				return e
+			}
+		}
+		p.Park()
+	}
+}
+
+func TestDeviceAccessRequiresPrivilege(t *testing.T) {
+	fx := newFixture(t, 1)
+	unpriv, _ := fx.clu.Host(0).RunContainer(cluster.RunOpts{})
+	if _, err := fx.fabric.OpenDevice(unpriv); !errors.Is(err, ErrNoDeviceAccess) {
+		t.Fatalf("err = %v, want ErrNoDeviceAccess", err)
+	}
+	priv, _ := fx.clu.Host(0).RunContainer(cluster.RunOpts{Privileged: true})
+	if _, err := fx.fabric.OpenDevice(priv); err != nil {
+		t.Fatalf("privileged open failed: %v", err)
+	}
+	if _, err := fx.fabric.OpenDevice(fx.clu.Host(0).NativeEnv()); err != nil {
+		t.Fatalf("native open failed: %v", err)
+	}
+}
+
+func TestNoHCAHost(t *testing.T) {
+	clu := cluster.MustNew(cluster.Spec{Hosts: 1, SocketsPerHost: 1, CoresPerSocket: 4, HCAsPerHost: 0})
+	eng := sim.NewEngine()
+	prm := perf.Default()
+	f := NewFabric(eng, &prm, clu)
+	if _, err := f.OpenDevice(clu.Host(0).NativeEnv()); err == nil {
+		t.Fatal("open on HCA-less host should fail")
+	}
+}
+
+func TestSendRecvInterHost(t *testing.T) {
+	fx := newFixture(t, 2)
+	a := fx.clu.Host(0).NativeEnv()
+	b := fx.clu.Host(1).NativeEnv()
+	_, _, qa, qb, cqa, cqb := fx.pairOn(t, a, b)
+
+	payload := []byte("hello over the fabric")
+	var gotLatency sim.Time
+	var recvBuf = make([]byte, 64)
+
+	fx.eng.Go("recv", func(p *sim.Proc) {
+		qb.PostRecv(p, 7, recvBuf)
+		cqb.SetWaiter(p)
+		e := waitCQE(p, cqb, OpRecv)
+		if e.WRID != 7 || e.Bytes != len(payload) {
+			t.Errorf("recv CQE = %+v", e)
+		}
+		gotLatency = p.Now()
+	})
+	fx.eng.Go("send", func(p *sim.Proc) {
+		cqa.SetWaiter(p)
+		qa.PostSend(p, 3, payload, 0)
+		e := waitCQE(p, cqa, OpSend)
+		if e.WRID != 3 {
+			t.Errorf("send CQE = %+v", e)
+		}
+	})
+	if err := fx.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(recvBuf[:len(payload)], payload) {
+		t.Fatalf("payload corrupted: %q", recvBuf[:len(payload)])
+	}
+	// One-way time must be at least wire latency and within a sane bound.
+	if gotLatency < fx.prm.IBWireLatencyInter {
+		t.Errorf("arrival at %v is before wire latency %v", gotLatency, fx.prm.IBWireLatencyInter)
+	}
+	if gotLatency > 10*sim.Microsecond {
+		t.Errorf("small message took %v, suspiciously long", gotLatency)
+	}
+}
+
+func TestSendBeforeRecvIsQueued(t *testing.T) {
+	fx := newFixture(t, 2)
+	a, b := fx.clu.Host(0).NativeEnv(), fx.clu.Host(1).NativeEnv()
+	_, _, qa, qb, cqa, cqb := fx.pairOn(t, a, b)
+
+	done := false
+	fx.eng.Go("send", func(p *sim.Proc) {
+		cqa.SetWaiter(p)
+		qa.PostSend(p, 1, []byte{9, 9}, 0)
+	})
+	fx.eng.Go("lateRecv", func(p *sim.Proc) {
+		cqb.SetWaiter(p)
+		p.Sleep(50 * sim.Microsecond) // message arrives long before this
+		buf := make([]byte, 8)
+		qb.PostRecv(p, 2, buf)
+		e := waitCQE(p, cqb, OpRecv)
+		if e.Bytes != 2 || buf[0] != 9 {
+			t.Errorf("late recv got %+v buf=%v", e, buf)
+		}
+		// Delivery time must not precede the post of the recv.
+		if p.Now() < 50*sim.Microsecond {
+			t.Errorf("delivered at %v, before recv was posted", p.Now())
+		}
+		done = true
+	})
+	if err := fx.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("receiver never completed")
+	}
+}
+
+func TestLoopbackSlowerThanWire(t *testing.T) {
+	// The crux of the paper: intra-host HCA loopback has *worse* latency
+	// than host-to-host. Measure one-way small-message time on both.
+	measure := func(t *testing.T, sameHost bool) sim.Time {
+		t.Helper()
+		fx := newFixture(t, 2)
+		a := fx.clu.Host(0).NativeEnv()
+		b := fx.clu.Host(1).NativeEnv()
+		if sameHost {
+			b = fx.clu.Host(0).NativeEnv()
+		}
+		_, _, qa, qb, _, cqb := fx.pairOn(t, a, b)
+		var at sim.Time
+		fx.eng.Go("recv", func(p *sim.Proc) {
+			cqb.SetWaiter(p)
+			qb.PostRecv(p, 1, make([]byte, 16))
+			waitCQE(p, cqb, OpRecv)
+			at = p.Now()
+		})
+		fx.eng.Go("send", func(p *sim.Proc) {
+			qa.PostSend(p, 1, []byte{1}, 0)
+		})
+		if err := fx.eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return at
+	}
+	loop := measure(t, true)
+	wire := measure(t, false)
+	if loop <= wire {
+		t.Errorf("loopback latency %v should exceed wire latency %v", loop, wire)
+	}
+}
+
+func TestRDMAWriteOneSided(t *testing.T) {
+	fx := newFixture(t, 2)
+	a, b := fx.clu.Host(0).NativeEnv(), fx.clu.Host(1).NativeEnv()
+	devA, devB, qa, _, cqa, _ := fx.pairOn(t, a, b)
+	_ = devA
+
+	target := make([]byte, 32)
+	var mr *MR
+	fx.eng.Go("target", func(p *sim.Proc) {
+		mr = devB.RegisterMR(p, target)
+		// Target never polls: RDMA WRITE must land without its involvement.
+	})
+	fx.eng.Go("origin", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond) // let registration happen
+		cqa.SetWaiter(p)
+		qa.PostWrite(p, 11, []byte("rdma!"), mr, 4, false, 0)
+		e := waitCQE(p, cqa, OpWrite)
+		if e.WRID != 11 || e.Bytes != 5 {
+			t.Errorf("write CQE = %+v", e)
+		}
+	})
+	if err := fx.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(target[4:9]) != "rdma!" {
+		t.Fatalf("target = %q", target)
+	}
+}
+
+func TestRDMAWriteWithImmConsumesRecv(t *testing.T) {
+	fx := newFixture(t, 2)
+	a, b := fx.clu.Host(0).NativeEnv(), fx.clu.Host(1).NativeEnv()
+	_, devB, qa, qb, cqa, cqb := fx.pairOn(t, a, b)
+
+	target := make([]byte, 16)
+	var mr *MR
+	saw := false
+	fx.eng.Go("target", func(p *sim.Proc) {
+		mr = devB.RegisterMR(p, target)
+		cqb.SetWaiter(p)
+		qb.PostRecv(p, 21, nil) // zero-length recv for the imm notification
+		e := waitCQE(p, cqb, OpWriteImm)
+		if e.Imm != 0xfeed || e.WRID != 21 {
+			t.Errorf("imm CQE = %+v", e)
+		}
+		if target[0] != 0xAB {
+			t.Error("data not visible when imm CQE delivered")
+		}
+		saw = true
+	})
+	fx.eng.Go("origin", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Microsecond)
+		cqa.SetWaiter(p)
+		qa.PostWrite(p, 22, []byte{0xAB}, mr, 0, true, 0xfeed)
+		waitCQE(p, cqa, OpWrite)
+	})
+	if err := fx.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !saw {
+		t.Fatal("target never saw the immediate completion")
+	}
+}
+
+func TestRDMARead(t *testing.T) {
+	fx := newFixture(t, 2)
+	a, b := fx.clu.Host(0).NativeEnv(), fx.clu.Host(1).NativeEnv()
+	_, devB, qa, _, cqa, _ := fx.pairOn(t, a, b)
+
+	remote := []byte("0123456789abcdef")
+	var mr *MR
+	var rtt sim.Time
+	dst := make([]byte, 6)
+	fx.eng.Go("target", func(p *sim.Proc) {
+		mr = devB.RegisterMR(p, remote)
+	})
+	fx.eng.Go("origin", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Microsecond)
+		cqa.SetWaiter(p)
+		start := p.Now()
+		qa.PostRead(p, 31, dst, mr, 10)
+		waitCQE(p, cqa, OpRead)
+		rtt = p.Now() - start
+	})
+	if err := fx.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(dst) != "abcdef" {
+		t.Fatalf("read data = %q", dst)
+	}
+	// RDMA read costs a round trip: at least 2x the one-way wire latency.
+	if rtt < 2*fx.prm.IBWireLatencyInter {
+		t.Errorf("read RTT %v below two wire latencies", rtt)
+	}
+}
+
+func TestBandwidthSerializationOnSharedLink(t *testing.T) {
+	// Two concurrent large sends from the same host must share the uplink:
+	// total time ~ 2x single-transfer serialization, not 1x.
+	const msg = 1 << 20
+	elapsed := func(t *testing.T, senders int) sim.Time {
+		t.Helper()
+		fx := newFixture(t, 3)
+		src := fx.clu.Host(0).NativeEnv()
+		var end sim.Time
+		for s := 0; s < senders; s++ {
+			dstEnv := fx.clu.Host(1 + s).NativeEnv()
+			_, _, qa, qb, cqa, cqb := fx.pairOn(t, src, dstEnv)
+			qbb, cqbb := qb, cqb
+			fx.eng.Go("recv", func(p *sim.Proc) {
+				cqbb.SetWaiter(p)
+				qbb.PostRecv(p, 1, make([]byte, msg))
+				waitCQE(p, cqbb, OpRecv)
+				if p.Now() > end {
+					end = p.Now()
+				}
+			})
+			qaa, cqaa := qa, cqa
+			fx.eng.Go("send", func(p *sim.Proc) {
+				cqaa.SetWaiter(p)
+				qaa.PostSend(p, 1, make([]byte, msg), 0)
+				waitCQE(p, cqaa, OpSend)
+			})
+		}
+		if err := fx.eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	one := elapsed(t, 1)
+	two := elapsed(t, 2)
+	if two < one*3/2 {
+		t.Errorf("two flows on one uplink finished in %v vs %v for one: no contention modeled", two, one)
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	fx := newFixture(t, 2)
+	a, b := fx.clu.Host(0).NativeEnv(), fx.clu.Host(1).NativeEnv()
+	devA, _ := fx.fabric.OpenDevice(a)
+	devB, _ := fx.fabric.OpenDevice(b)
+	cq := devA.CreateCQ()
+	cq2 := devB.CreateCQ()
+	qa, qb := devA.CreateQP(cq, cq), devB.CreateQP(cq2, cq2)
+	if err := Connect(qa, qb); err != nil {
+		t.Fatal(err)
+	}
+	qc := devA.CreateQP(cq, cq)
+	if err := Connect(qc, qb); err == nil {
+		t.Fatal("double connect accepted")
+	}
+	// Different fabric.
+	other := newFixture(t, 1)
+	devO, _ := other.fabric.OpenDevice(other.clu.Host(0).NativeEnv())
+	cqo := devO.CreateCQ()
+	qo := devO.CreateQP(cqo, cqo)
+	if err := Connect(qc, qo); err == nil {
+		t.Fatal("cross-fabric connect accepted")
+	}
+}
+
+func TestPollChargesOnlyOnSuccess(t *testing.T) {
+	fx := newFixture(t, 2)
+	a, b := fx.clu.Host(0).NativeEnv(), fx.clu.Host(1).NativeEnv()
+	_, _, _, _, cqa, _ := fx.pairOn(t, a, b)
+	fx.eng.Go("poller", func(p *sim.Proc) {
+		before := p.Now()
+		for i := 0; i < 100; i++ {
+			if got := cqa.Poll(p); got != nil {
+				t.Errorf("unexpected CQE %v", got)
+			}
+		}
+		if p.Now() != before {
+			t.Errorf("empty polls advanced clock by %v", p.Now()-before)
+		}
+	})
+	if err := fx.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutoRecvDelivery(t *testing.T) {
+	fx := newFixture(t, 2)
+	a, b := fx.clu.Host(0).NativeEnv(), fx.clu.Host(1).NativeEnv()
+	_, _, qa, qb, _, cqb := fx.pairOn(t, a, b)
+	qb.EnableAutoRecv()
+	done := false
+	fx.eng.Go("recv", func(p *sim.Proc) {
+		cqb.SetWaiter(p)
+		e := waitCQE(p, cqb, OpRecv)
+		if string(e.Buf) != "srq style" || e.Imm != 7 {
+			t.Errorf("auto-recv CQE: buf=%q imm=%d", e.Buf, e.Imm)
+		}
+		done = true
+	})
+	fx.eng.Go("send", func(p *sim.Proc) {
+		qa.PostSend(p, 1, []byte("srq style"), 7)
+	})
+	if err := fx.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("auto-recv never delivered")
+	}
+}
+
+func TestAutoRecvWriteImm(t *testing.T) {
+	fx := newFixture(t, 2)
+	a, b := fx.clu.Host(0).NativeEnv(), fx.clu.Host(1).NativeEnv()
+	_, devB, qa, qb, cqa, cqb := fx.pairOn(t, a, b)
+	qb.EnableAutoRecv()
+	target := make([]byte, 8)
+	var mr *MR
+	saw := false
+	fx.eng.Go("target", func(p *sim.Proc) {
+		mr = devB.RegisterMR(p, target)
+		cqb.SetWaiter(p)
+		// No posted receive at all: auto-recv must still deliver the imm.
+		e := waitCQE(p, cqb, OpWriteImm)
+		if e.Imm != 99 || target[3] != 0x5A {
+			t.Errorf("imm CQE %+v target %v", e, target)
+		}
+		saw = true
+	})
+	fx.eng.Go("origin", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Microsecond)
+		cqa.SetWaiter(p)
+		qa.PostWrite(p, 2, []byte{0x5A}, mr, 3, true, 99)
+		waitCQE(p, cqa, OpWrite)
+	})
+	if err := fx.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !saw {
+		t.Fatal("write-imm never delivered")
+	}
+}
+
+func TestQPNUnique(t *testing.T) {
+	fx := newFixture(t, 1)
+	dev, err := fx.fabric.OpenDevice(fx.clu.Host(0).NativeEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq := dev.CreateCQ()
+	seen := map[int]bool{}
+	for i := 0; i < 10; i++ {
+		qp := dev.CreateQP(cq, cq)
+		if seen[qp.QPN()] {
+			t.Fatalf("duplicate QPN %d", qp.QPN())
+		}
+		seen[qp.QPN()] = true
+	}
+}

@@ -1,0 +1,327 @@
+package mpi
+
+// Two-level (hierarchical) collectives: an extension over the paper's
+// design that exploits the locality map a second time. Ranks are grouped by
+// the library's locality view (hosts in locality-aware mode, containers in
+// default mode); a leader per group participates in the inter-group phase
+// while intra-group phases ride the fast SHM/CMA channels.
+//
+// Enabled via Options.HierarchicalCollectives; the flat algorithms remain
+// the default, matching the paper's evaluation. The ablation bench
+// BenchmarkAblationFlatVsHierarchical compares the two.
+
+import (
+	"cmpi/internal/cluster"
+	"cmpi/internal/core"
+)
+
+// localityGroup returns this rank's group (the ranks the library believes
+// co-resident, sorted ascending and including the rank itself) and the
+// sorted list of all group leaders. Groups are identical on every member
+// because TreatLocal is an equivalence over our deployments (same host /
+// same hostname).
+func (r *Rank) localityGroup() (group []int, leaders []int) {
+	group = r.LocalRanks()
+	leaderOf := make([]int, r.size)
+	for i := range leaderOf {
+		leaderOf[i] = -1
+	}
+	for rank := 0; rank < r.size; rank++ {
+		if leaderOf[rank] >= 0 {
+			continue
+		}
+		// The group of `rank` as seen globally: every peer it treats local.
+		leader := rank
+		leaderOf[rank] = leader
+		for peer := rank + 1; peer < r.size; peer++ {
+			if r.sameGroup(rank, peer) {
+				leaderOf[peer] = leader
+			}
+		}
+	}
+	seen := map[int]bool{}
+	for _, l := range leaderOf {
+		if !seen[l] {
+			seen[l] = true
+			leaders = append(leaders, l)
+		}
+	}
+	return group, leaders
+}
+
+// sameGroup reports whether ranks a and b are mutually local from the
+// deployment's ground truth filtered through the library's mode: hostname
+// equality by default, host + shared IPC namespace (what the detector
+// recovers) in locality-aware mode.
+func (r *Rank) sameGroup(a, b int) bool {
+	if a == b {
+		return true
+	}
+	pa := r.w.Deploy.Placements[a].Env
+	pb := r.w.Deploy.Placements[b].Env
+	if r.w.Opts.Mode == core.ModeLocalityAware {
+		return pa.SameHost(pb) && pa.SharesNamespace(cluster.IPC, pb)
+	}
+	return pa.Hostname() == pb.Hostname()
+}
+
+// hierAllreduce: local reduce to the group leader, recursive-doubling
+// allreduce among leaders, local broadcast. Every rank mints the same three
+// tags so the global collective-tag sequence stays aligned.
+func (r *Rank) hierAllreduce(buf []byte, op ReduceOp) {
+	group, leaders := r.localityGroup()
+	leader := group[0]
+	tag := r.nextCollTag()
+	tagLeaders := r.nextCollTag()
+	tag2 := r.nextCollTag()
+
+	// Binomial local reduce to the leader (group[0]).
+	r.subsetReduce(group, tag, buf, op)
+	if r.rank == leader {
+		r.subsetAllreduce(leaders, tagLeaders, buf, op)
+	}
+	// Binomial local broadcast of the result.
+	r.subsetBcast(group, tag2, leader, buf)
+}
+
+// subsetReduce is a binomial reduction to members[0] over an explicit
+// member list; non-root buffers are scratch.
+func (r *Rank) subsetReduce(members []int, tag int, buf []byte, op ReduceOp) {
+	n := len(members)
+	if n <= 1 {
+		return
+	}
+	me := -1
+	for i, m := range members {
+		if m == r.rank {
+			me = i
+			break
+		}
+	}
+	if me < 0 {
+		r.p.Fatalf("subsetReduce: rank %d not in member list %v", r.rank, members)
+	}
+	tmp := make([]byte, len(buf))
+	for mask := 1; mask < n; mask <<= 1 {
+		if me&mask != 0 {
+			r.wait(r.csend(members[me-mask], tag, buf))
+			return
+		}
+		if me+mask < n {
+			r.wait(r.crecv(members[me+mask], tag, tmp))
+			r.chargeReduce(len(buf))
+			op(buf, tmp)
+		}
+	}
+}
+
+// subsetAllreduce runs recursive doubling over an explicit member list
+// (callers guarantee every member calls it with the same list and tag).
+func (r *Rank) subsetAllreduce(members []int, tag int, buf []byte, op ReduceOp) {
+	n := len(members)
+	if n <= 1 {
+		return
+	}
+	me := -1
+	for i, m := range members {
+		if m == r.rank {
+			me = i
+			break
+		}
+	}
+	if me < 0 {
+		r.p.Fatalf("subsetAllreduce: rank %d not in member list %v", r.rank, members)
+	}
+	pof2 := 1
+	for pof2*2 <= n {
+		pof2 *= 2
+	}
+	rem := n - pof2
+	tmp := make([]byte, len(buf))
+	newIdx := -1
+	switch {
+	case me < 2*rem && me%2 == 0:
+		r.wait(r.csend(members[me+1], tag, buf))
+	case me < 2*rem:
+		r.wait(r.crecv(members[me-1], tag, tmp))
+		r.chargeReduce(len(buf))
+		op(buf, tmp)
+		newIdx = me / 2
+	default:
+		newIdx = me - rem
+	}
+	if newIdx >= 0 {
+		toIdx := func(ni int) int {
+			if ni < rem {
+				return ni*2 + 1
+			}
+			return ni + rem
+		}
+		for mask := 1; mask < pof2; mask <<= 1 {
+			peer := members[toIdx(newIdx^mask)]
+			r.sendrecvInternal(peer, tag, buf, peer, tag, tmp)
+			r.chargeReduce(len(buf))
+			op(buf, tmp)
+		}
+	}
+	if me < 2*rem {
+		if me%2 == 0 {
+			r.wait(r.crecv(members[me+1], tag, buf))
+		} else {
+			r.wait(r.csend(members[me-1], tag, buf))
+		}
+	}
+}
+
+// hierAllgather: leaders gather their group's blocks, allgather full host
+// blocks among leaders, then broadcast the assembled result locally. Block
+// layout in out follows global rank order, which requires groups to be
+// contiguous rank ranges (true for all block-distributed deployments); it
+// falls back to the flat algorithm otherwise.
+func (r *Rank) hierAllgather(mine []byte, out []byte) bool {
+	group, leaders := r.localityGroup()
+	// Contiguity check: group must be a consecutive rank range.
+	for i := 1; i < len(group); i++ {
+		if group[i] != group[0]+i {
+			return false
+		}
+	}
+	k := len(mine)
+	leader := group[0]
+	tagGather := r.nextCollTag()
+	tagLeaders := r.nextCollTag()
+	tagBcast := r.nextCollTag()
+
+	// Phase 1: linear gather of the group's blocks into the leader's view
+	// of out (groups are small; the traffic rides SHM/CMA).
+	if r.rank != leader {
+		r.wait(r.csend(leader, tagGather, mine))
+	} else {
+		copy(out[r.rank*k:], mine)
+		var reqs []*Request
+		for _, m := range group[1:] {
+			reqs = append(reqs, r.crecv(m, tagGather, out[m*k:(m+1)*k]))
+		}
+		for _, rq := range reqs {
+			r.wait(rq)
+		}
+		// Phase 2: ring allgather of whole host blocks among leaders.
+		// Leaders may own different group sizes; exchange each leader's
+		// contiguous region.
+		if len(leaders) > 1 {
+			me := -1
+			for i, l := range leaders {
+				if l == r.rank {
+					me = i
+				}
+			}
+			n := len(leaders)
+			regionOf := func(li int) (lo, hi int) {
+				l := leaders[li]
+				lo = l * k
+				if li+1 < n {
+					hi = leaders[li+1] * k
+				} else {
+					hi = len(out)
+				}
+				return
+			}
+			right := leaders[(me+1)%n]
+			left := leaders[(me-1+n)%n]
+			for step := 0; step < n-1; step++ {
+				sendIdx := (me - step + n) % n
+				recvIdx := (me - step - 1 + n) % n
+				sLo, sHi := regionOf(sendIdx)
+				rLo, rHi := regionOf(recvIdx)
+				rq := r.crecv(left, tagLeaders, out[rLo:rHi])
+				r.wait(r.csend(right, tagLeaders, out[sLo:sHi]))
+				r.wait(rq)
+			}
+		}
+	}
+	// Phase 3: local broadcast of the assembled array.
+	r.subsetBcast(group, tagBcast, leader, out)
+	return true
+}
+
+// hierBcast: binomial broadcast among leaders rooted at the root's leader,
+// then linear local broadcast (groups are small).
+func (r *Rank) hierBcast(root int, data []byte) {
+	group, leaders := r.localityGroup()
+	leader := group[0]
+	tag := r.nextCollTag()
+	tagLeaders := r.nextCollTag()
+	tag2 := r.nextCollTag()
+
+	// Root hands the data to its leader if it is not one.
+	rootLeader := r.leaderOfRank(root, leaders)
+	if r.rank == root && root != rootLeader {
+		r.wait(r.csend(rootLeader, tag, data))
+	}
+	if r.rank == rootLeader && root != rootLeader {
+		r.wait(r.crecv(root, tag, data))
+	}
+	// Inter-leader binomial broadcast.
+	if r.rank == leader {
+		r.subsetBcast(leaders, tagLeaders, rootLeader, data)
+	}
+	// Local linear broadcast.
+	if r.rank == leader {
+		for _, m := range group[1:] {
+			if m == root && root != rootLeader {
+				// Root already has the data.
+				continue
+			}
+			r.wait(r.csend(m, tag2, data))
+		}
+	} else if r.rank != root || root == rootLeader {
+		r.wait(r.crecv(leader, tag2, data))
+	}
+}
+
+// leaderOfRank returns the leader of the group containing rank.
+func (r *Rank) leaderOfRank(rank int, leaders []int) int {
+	for _, l := range leaders {
+		if r.sameGroup(l, rank) {
+			return l
+		}
+	}
+	return rank
+}
+
+// subsetBcast is a binomial broadcast over an explicit member list.
+func (r *Rank) subsetBcast(members []int, tag, root int, data []byte) {
+	n := len(members)
+	if n <= 1 {
+		return
+	}
+	me, rootIdx := -1, -1
+	for i, m := range members {
+		if m == r.rank {
+			me = i
+		}
+		if m == root {
+			rootIdx = i
+		}
+	}
+	if me < 0 || rootIdx < 0 {
+		r.p.Fatalf("subsetBcast: rank %d or root %d not in %v", r.rank, root, members)
+	}
+	vrank := (me - rootIdx + n) % n
+	abs := func(v int) int { return members[(v+rootIdx)%n] }
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			r.wait(r.crecv(abs(vrank-mask), tag, data))
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vrank+mask < n {
+			r.wait(r.csend(abs(vrank+mask), tag, data))
+		}
+		mask >>= 1
+	}
+}

@@ -1,0 +1,406 @@
+package mpi
+
+import "sort"
+
+// Comm is a communicator: an ordered subset of world ranks with a private
+// matching context, created collectively with Split (MPI_Comm_split
+// semantics). Point-to-point and collective operations on a Comm address
+// peers by *communicator-local* rank and never match traffic from other
+// communicators.
+//
+// Context management: context ids are minted through a world counter; a
+// Split agrees on the new id with an allreduce over the parent communicator,
+// which guarantees distinct ids for communicators that share any member.
+// Disjoint communicators may reuse an id, which is harmless because their
+// member sets cannot exchange messages under it.
+type Comm struct {
+	r       *Rank
+	ctx     int
+	members []int // world ranks, in communicator rank order
+	myIdx   int
+	collSeq int
+}
+
+// worldCtx is the reserved context of the world communicator returned by
+// CommWorld. Context 0 belongs to the Rank-level (implicit world) API.
+const worldCtx = 1
+
+// CommWorld returns a communicator over all ranks (MPI_COMM_WORLD as an
+// explicit object). It may be called any number of times; all copies share
+// the reserved world context but each carries its own collective-tag
+// counter, so interleaving collectives across copies is not allowed (as in
+// MPI, where they would be the same communicator anyway).
+func (r *Rank) CommWorld() *Comm {
+	members := make([]int, r.size)
+	for i := range members {
+		members[i] = i
+	}
+	return &Comm{r: r, ctx: worldCtx, members: members, myIdx: r.rank}
+}
+
+// Rank returns the communicator-local rank.
+func (c *Comm) Rank() int { return c.myIdx }
+
+// Size returns the number of members.
+func (c *Comm) Size() int { return len(c.members) }
+
+// GlobalRank translates a communicator-local rank to the world rank.
+func (c *Comm) GlobalRank(localRank int) int { return c.members[localRank] }
+
+func (c *Comm) nextTag() int {
+	c.collSeq++
+	return -(c.collSeq + 1)
+}
+
+// --- point-to-point ------------------------------------------------------
+
+// Isend starts a nonblocking send to communicator-local rank dst.
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	c.r.profEnter()
+	defer c.r.profExit("Isend")
+	return c.r.isendCtx(c.members[dst], tag, c.ctx, data)
+}
+
+// Irecv posts a nonblocking receive from communicator-local rank src
+// (AnySource allowed). The returned status reports world source ranks.
+func (c *Comm) Irecv(src, tag int, buf []byte) *Request {
+	c.r.profEnter()
+	defer c.r.profExit("Irecv")
+	gsrc := AnySource
+	if src != AnySource {
+		gsrc = c.members[src]
+	}
+	return c.r.irecvCtx(gsrc, tag, c.ctx, buf)
+}
+
+// Send is a blocking send to communicator-local rank dst.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	c.r.profEnter()
+	defer c.r.profExit("Send")
+	c.r.wait(c.r.isendCtx(c.members[dst], tag, c.ctx, data))
+}
+
+// Recv is a blocking receive from communicator-local rank src; the status
+// source is translated back to the communicator-local rank.
+func (c *Comm) Recv(src, tag int, buf []byte) Status {
+	c.r.profEnter()
+	defer c.r.profExit("Recv")
+	gsrc := AnySource
+	if src != AnySource {
+		gsrc = c.members[src]
+	}
+	st := c.r.wait(c.r.irecvCtx(gsrc, tag, c.ctx, buf))
+	st.Source = c.localOf(st.Source)
+	return st
+}
+
+// Wait forwards to the underlying rank.
+func (c *Comm) Wait(req *Request) Status { return c.r.Wait(req) }
+
+// localOf translates a world rank to the communicator-local rank (-1 if
+// not a member).
+func (c *Comm) localOf(world int) int {
+	for i, m := range c.members {
+		if m == world {
+			return i
+		}
+	}
+	return -1
+}
+
+// --- collectives ----------------------------------------------------------
+
+// Barrier blocks until all members arrive (dissemination).
+func (c *Comm) Barrier() {
+	c.r.profEnter()
+	defer c.r.profExit("Barrier")
+	tag := c.nextTag()
+	n := len(c.members)
+	for k := 1; k < n; k <<= 1 {
+		dst := c.members[(c.myIdx+k)%n]
+		src := c.members[(c.myIdx-k+n)%n]
+		rq := c.r.irecvCtx(src, tag, c.ctx|collCtxBit, nil)
+		c.r.wait(c.r.isendCtx(dst, tag, c.ctx|collCtxBit, nil))
+		c.r.wait(rq)
+	}
+}
+
+// Bcast broadcasts from communicator-local root (binomial tree).
+func (c *Comm) Bcast(root int, data []byte) {
+	c.r.profEnter()
+	defer c.r.profExit("Bcast")
+	n := len(c.members)
+	if n == 1 {
+		return
+	}
+	tag := c.nextTag()
+	vrank := (c.myIdx - root + n) % n
+	abs := func(v int) int { return c.members[(v+root)%n] }
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			c.r.wait(c.r.irecvCtx(abs(vrank-mask), tag, c.ctx|collCtxBit, data))
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vrank+mask < n {
+			c.r.wait(c.r.isendCtx(abs(vrank+mask), tag, c.ctx|collCtxBit, data))
+		}
+		mask >>= 1
+	}
+}
+
+// Reduce combines members' buffers into the communicator-local root
+// (binomial tree); non-root buffers are scratch.
+func (c *Comm) Reduce(root int, buf []byte, op ReduceOp) {
+	c.r.profEnter()
+	defer c.r.profExit("Reduce")
+	n := len(c.members)
+	if n == 1 {
+		return
+	}
+	tag := c.nextTag()
+	vrank := (c.myIdx - root + n) % n
+	abs := func(v int) int { return c.members[(v+root)%n] }
+	tmp := make([]byte, len(buf))
+	for mask := 1; mask < n; mask <<= 1 {
+		if vrank&mask != 0 {
+			c.r.wait(c.r.isendCtx(abs(vrank-mask), tag, c.ctx|collCtxBit, buf))
+			return
+		}
+		if vrank+mask < n {
+			c.r.wait(c.r.irecvCtx(abs(vrank+mask), tag, c.ctx|collCtxBit, tmp))
+			c.r.chargeReduce(len(buf))
+			op(buf, tmp)
+		}
+	}
+}
+
+// Allreduce combines buf across members (recursive doubling with the
+// standard non-power-of-two fold).
+func (c *Comm) Allreduce(buf []byte, op ReduceOp) {
+	c.r.profEnter()
+	defer c.r.profExit("Allreduce")
+	n := len(c.members)
+	if n == 1 {
+		return
+	}
+	tag := c.nextTag()
+	r := c.r
+	pof2 := 1
+	for pof2*2 <= n {
+		pof2 *= 2
+	}
+	rem := n - pof2
+	tmp := make([]byte, len(buf))
+	me := c.myIdx
+	newRank := -1
+	switch {
+	case me < 2*rem && me%2 == 0:
+		r.wait(r.isendCtx(c.members[me+1], tag, c.ctx|collCtxBit, buf))
+	case me < 2*rem:
+		r.wait(r.irecvCtx(c.members[me-1], tag, c.ctx|collCtxBit, tmp))
+		r.chargeReduce(len(buf))
+		op(buf, tmp)
+		newRank = me / 2
+	default:
+		newRank = me - rem
+	}
+	if newRank >= 0 {
+		toAbs := func(nr int) int {
+			if nr < rem {
+				return c.members[nr*2+1]
+			}
+			return c.members[nr+rem]
+		}
+		for mask := 1; mask < pof2; mask <<= 1 {
+			peer := toAbs(newRank ^ mask)
+			rq := r.irecvCtx(peer, tag, c.ctx|collCtxBit, tmp)
+			r.wait(r.isendCtx(peer, tag, c.ctx|collCtxBit, buf))
+			r.wait(rq)
+			r.chargeReduce(len(buf))
+			op(buf, tmp)
+		}
+	}
+	if me < 2*rem {
+		if me%2 == 0 {
+			r.wait(r.irecvCtx(c.members[me+1], tag, c.ctx|collCtxBit, buf))
+		} else {
+			r.wait(r.isendCtx(c.members[me-1], tag, c.ctx|collCtxBit, buf))
+		}
+	}
+}
+
+// Allgather concatenates each member's mine into out in communicator rank
+// order (ring algorithm, correct for every member count).
+func (c *Comm) Allgather(mine []byte, out []byte) {
+	c.r.profEnter()
+	defer c.r.profExit("Allgather")
+	n := len(c.members)
+	k := len(mine)
+	if len(out) != k*n {
+		c.r.p.Fatalf("Comm.Allgather: out is %d bytes, want %d", len(out), k*n)
+	}
+	copy(out[c.myIdx*k:], mine)
+	if n == 1 {
+		return
+	}
+	tag := c.nextTag()
+	right := c.members[(c.myIdx+1)%n]
+	left := c.members[(c.myIdx-1+n)%n]
+	for step := 0; step < n-1; step++ {
+		sendBlock := (c.myIdx - step + n) % n
+		recvBlock := (c.myIdx - step - 1 + n) % n
+		rq := c.r.irecvCtx(left, tag, c.ctx|collCtxBit, out[recvBlock*k:(recvBlock+1)*k])
+		c.r.wait(c.r.isendCtx(right, tag, c.ctx|collCtxBit, out[sendBlock*k:(sendBlock+1)*k]))
+		c.r.wait(rq)
+	}
+}
+
+// Alltoall exchanges fixed-size chunks between all members (pairwise).
+func (c *Comm) Alltoall(send, recv []byte, chunk int) {
+	c.r.profEnter()
+	defer c.r.profExit("Alltoall")
+	n := len(c.members)
+	if len(send) != chunk*n || len(recv) != chunk*n {
+		c.r.p.Fatalf("Comm.Alltoall: buffers %d/%d bytes, want %d", len(send), len(recv), chunk*n)
+	}
+	tag := c.nextTag()
+	c.r.p.Advance(c.r.w.Opts.Params.MemCopy(chunk, false))
+	copy(recv[c.myIdx*chunk:], send[c.myIdx*chunk:(c.myIdx+1)*chunk])
+	for step := 1; step < n; step++ {
+		sendTo := (c.myIdx + step) % n
+		recvFrom := (c.myIdx - step + n) % n
+		rq := c.r.irecvCtx(c.members[recvFrom], tag, c.ctx|collCtxBit, recv[recvFrom*chunk:(recvFrom+1)*chunk])
+		c.r.wait(c.r.isendCtx(c.members[sendTo], tag, c.ctx|collCtxBit, send[sendTo*chunk:(sendTo+1)*chunk]))
+		c.r.wait(rq)
+	}
+}
+
+// Sendrecv performs a combined blocking exchange over the communicator
+// (local ranks); the returned status source is communicator-local.
+func (c *Comm) Sendrecv(dst, sendTag int, sendData []byte, src, recvTag int, recvBuf []byte) Status {
+	c.r.profEnter()
+	defer c.r.profExit("Sendrecv")
+	gsrc := AnySource
+	if src != AnySource {
+		gsrc = c.members[src]
+	}
+	rq := c.r.irecvCtx(gsrc, recvTag, c.ctx, recvBuf)
+	sq := c.r.isendCtx(c.members[dst], sendTag, c.ctx, sendData)
+	st := c.r.wait(rq)
+	c.r.wait(sq)
+	st.Source = c.localOf(st.Source)
+	return st
+}
+
+// Gather collects every member's mine into root's out in communicator rank
+// order (linear algorithm); out is only accessed at root.
+func (c *Comm) Gather(root int, mine []byte, out []byte) {
+	c.r.profEnter()
+	defer c.r.profExit("Gather")
+	tag := c.nextTag()
+	k := len(mine)
+	if c.myIdx != root {
+		c.r.wait(c.r.isendCtx(c.members[root], tag, c.ctx|collCtxBit, mine))
+		return
+	}
+	if len(out) != k*len(c.members) {
+		c.r.p.Fatalf("Comm.Gather: out is %d bytes, want %d", len(out), k*len(c.members))
+	}
+	copy(out[root*k:], mine)
+	var reqs []*Request
+	for i := range c.members {
+		if i == root {
+			continue
+		}
+		reqs = append(reqs, c.r.irecvCtx(c.members[i], tag, c.ctx|collCtxBit, out[i*k:(i+1)*k]))
+	}
+	for _, rq := range reqs {
+		c.r.wait(rq)
+	}
+}
+
+// Scatter distributes root's chunks to the members (linear algorithm).
+func (c *Comm) Scatter(root int, all []byte, mine []byte) {
+	c.r.profEnter()
+	defer c.r.profExit("Scatter")
+	tag := c.nextTag()
+	k := len(mine)
+	if c.myIdx != root {
+		c.r.wait(c.r.irecvCtx(c.members[root], tag, c.ctx|collCtxBit, mine))
+		return
+	}
+	if len(all) != k*len(c.members) {
+		c.r.p.Fatalf("Comm.Scatter: all is %d bytes, want %d", len(all), k*len(c.members))
+	}
+	var reqs []*Request
+	for i := range c.members {
+		if i == root {
+			continue
+		}
+		reqs = append(reqs, c.r.isendCtx(c.members[i], tag, c.ctx|collCtxBit, all[i*k:(i+1)*k]))
+	}
+	copy(mine, all[root*k:(root+1)*k])
+	for _, rq := range reqs {
+		c.r.wait(rq)
+	}
+}
+
+// --- split ----------------------------------------------------------------
+
+// Undefined is the MPI_UNDEFINED color: the caller joins no new
+// communicator and Split returns nil.
+const Undefined = -1
+
+// Split partitions the communicator by color; members with equal color form
+// a new communicator ordered by (key, parent rank). Collective over the
+// parent communicator.
+func (c *Comm) Split(color, key int) *Comm {
+	c.r.profEnter()
+	defer c.r.profExit("Comm_split")
+
+	// Exchange (color, key) triples over the parent.
+	mine := EncodeInt64s([]int64{int64(color), int64(key)})
+	all := make([]byte, len(mine)*len(c.members))
+	c.Allgather(mine, all)
+	vals := DecodeInt64s(all)
+
+	// Agree on the new context id: strictly above every member's counter.
+	ctr := EncodeInt64s([]int64{int64(c.r.w.ctxCounter)})
+	c.Allreduce(ctr, MaxInt64)
+	newCtx := int(DecodeInt64s(ctr)[0]) + 1
+	if newCtx >= collCtxBit {
+		c.r.p.Fatalf("communicator context ids exhausted (%d)", newCtx)
+	}
+	c.r.w.ctxCounter = newCtx
+
+	if color == Undefined {
+		return nil
+	}
+	type member struct{ key, parentIdx int }
+	var group []member
+	for i := 0; i < len(c.members); i++ {
+		if int(vals[2*i]) == color {
+			group = append(group, member{key: int(vals[2*i+1]), parentIdx: i})
+		}
+	}
+	sort.Slice(group, func(a, b int) bool {
+		if group[a].key != group[b].key {
+			return group[a].key < group[b].key
+		}
+		return group[a].parentIdx < group[b].parentIdx
+	})
+	nc := &Comm{r: c.r, ctx: newCtx}
+	for i, m := range group {
+		world := c.members[m.parentIdx]
+		nc.members = append(nc.members, world)
+		if world == c.r.rank {
+			nc.myIdx = i
+		}
+	}
+	return nc
+}

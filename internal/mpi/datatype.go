@@ -1,0 +1,122 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// ReduceOp combines src into dst elementwise over raw little-endian bytes.
+// All provided ops are associative and commutative.
+type ReduceOp func(dst, src []byte)
+
+// SumFloat64 adds float64 vectors.
+func SumFloat64(dst, src []byte) {
+	for i := 0; i+8 <= len(dst) && i+8 <= len(src); i += 8 {
+		d := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
+		s := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+		binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(d+s))
+	}
+}
+
+// MaxFloat64 takes the elementwise maximum of float64 vectors.
+func MaxFloat64(dst, src []byte) {
+	for i := 0; i+8 <= len(dst) && i+8 <= len(src); i += 8 {
+		d := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
+		s := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+		if s > d {
+			binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(s))
+		}
+	}
+}
+
+// SumInt64 adds int64 vectors.
+func SumInt64(dst, src []byte) {
+	for i := 0; i+8 <= len(dst) && i+8 <= len(src); i += 8 {
+		d := int64(binary.LittleEndian.Uint64(dst[i:]))
+		s := int64(binary.LittleEndian.Uint64(src[i:]))
+		binary.LittleEndian.PutUint64(dst[i:], uint64(d+s))
+	}
+}
+
+// MinInt64 takes the elementwise minimum of int64 vectors.
+func MinInt64(dst, src []byte) {
+	for i := 0; i+8 <= len(dst) && i+8 <= len(src); i += 8 {
+		d := int64(binary.LittleEndian.Uint64(dst[i:]))
+		s := int64(binary.LittleEndian.Uint64(src[i:]))
+		if s < d {
+			binary.LittleEndian.PutUint64(dst[i:], uint64(s))
+		}
+	}
+}
+
+// MaxInt64 takes the elementwise maximum of int64 vectors.
+func MaxInt64(dst, src []byte) {
+	for i := 0; i+8 <= len(dst) && i+8 <= len(src); i += 8 {
+		d := int64(binary.LittleEndian.Uint64(dst[i:]))
+		s := int64(binary.LittleEndian.Uint64(src[i:]))
+		if s > d {
+			binary.LittleEndian.PutUint64(dst[i:], uint64(s))
+		}
+	}
+}
+
+// BOr is bitwise OR over raw bytes.
+func BOr(dst, src []byte) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] |= src[i]
+	}
+}
+
+// EncodeFloat64s serializes vals little-endian.
+func EncodeFloat64s(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// DecodeFloat64s deserializes little-endian float64s.
+func DecodeFloat64s(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// EncodeInt64s serializes vals little-endian.
+func EncodeInt64s(vals []int64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(v))
+	}
+	return out
+}
+
+// DecodeInt64s deserializes little-endian int64s.
+func DecodeInt64s(b []byte) []int64 {
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// AllreduceFloat64 reduces one float64 across the world.
+func (r *Rank) AllreduceFloat64(v float64, op ReduceOp) float64 {
+	buf := EncodeFloat64s([]float64{v})
+	r.Allreduce(buf, op)
+	return DecodeFloat64s(buf)[0]
+}
+
+// AllreduceInt64 reduces one int64 across the world.
+func (r *Rank) AllreduceInt64(v int64, op ReduceOp) int64 {
+	buf := EncodeInt64s([]int64{v})
+	r.Allreduce(buf, op)
+	return DecodeInt64s(buf)[0]
+}

@@ -1,0 +1,89 @@
+package mpi
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cmpi/internal/core"
+)
+
+// OptionsFromEnv applies MVAPICH2-compatible environment variables to a
+// base option set, so scripts written for the real library map directly
+// onto the simulation:
+//
+//	MV2_SMP_EAGERSIZE         SHM eager/rendezvous switch (bytes)
+//	MV2_SMPI_LENGTH_QUEUE     per-pair shared ring budget (bytes)
+//	MV2_IBA_EAGER_THRESHOLD   HCA eager/rendezvous switch (bytes)
+//	MV2_SMP_USE_CMA           0/1: enable the CMA channel
+//	MV2_CONTAINER_SUPPORT     0/1: the paper's locality-aware design
+//	                          (the MVAPICH2-Virt flag this work shipped as)
+//	MV2_USE_HIERARCHICAL_COLL 0/1: two-level collectives (extension)
+//
+// Values accept optional K/M suffixes (binary units). Unknown MV2_*
+// variables are ignored, like the real library. The env map is typically
+// built from os.Environ(); a map keeps the function deterministic and
+// testable.
+func OptionsFromEnv(base Options, env map[string]string) (Options, error) {
+	opts := base
+	for key, val := range env {
+		if !strings.HasPrefix(key, "MV2_") {
+			continue
+		}
+		var err error
+		switch key {
+		case "MV2_SMP_EAGERSIZE":
+			opts.Tunables.SMPEagerSize, err = parseSize(val)
+		case "MV2_SMPI_LENGTH_QUEUE":
+			opts.Tunables.SMPLengthQueue, err = parseSize(val)
+		case "MV2_IBA_EAGER_THRESHOLD":
+			opts.Tunables.IBAEagerThreshold, err = parseSize(val)
+		case "MV2_SMP_USE_CMA":
+			opts.Tunables.UseCMA, err = parseBool(val)
+		case "MV2_CONTAINER_SUPPORT":
+			var on bool
+			if on, err = parseBool(val); err == nil {
+				if on {
+					opts.Mode = core.ModeLocalityAware
+				} else {
+					opts.Mode = core.ModeDefault
+				}
+			}
+		case "MV2_USE_HIERARCHICAL_COLL":
+			opts.HierarchicalCollectives, err = parseBool(val)
+		default:
+			// Unknown MV2_* variables are accepted silently.
+		}
+		if err != nil {
+			return opts, fmt.Errorf("%s=%q: %w", key, val, err)
+		}
+	}
+	return opts, opts.Validate()
+}
+
+// parseSize parses "8192", "8K", "128K", "1M" (binary units).
+func parseSize(s string) (int, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1024, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1024*1024, strings.TrimSuffix(s, "M")
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	return v * mult, nil
+}
+
+func parseBool(s string) (bool, error) {
+	switch strings.TrimSpace(s) {
+	case "1", "on", "ON", "true", "TRUE":
+		return true, nil
+	case "0", "off", "OFF", "false", "FALSE":
+		return false, nil
+	}
+	return false, fmt.Errorf("not a boolean")
+}

@@ -1,0 +1,76 @@
+package mpi
+
+import (
+	"testing"
+
+	"cmpi/internal/core"
+)
+
+func TestOptionsFromEnv(t *testing.T) {
+	opts, err := OptionsFromEnv(StockOptions(), map[string]string{
+		"MV2_SMP_EAGERSIZE":         "16K",
+		"MV2_SMPI_LENGTH_QUEUE":     "256K",
+		"MV2_IBA_EAGER_THRESHOLD":   "17408",
+		"MV2_SMP_USE_CMA":           "0",
+		"MV2_CONTAINER_SUPPORT":     "1",
+		"MV2_USE_HIERARCHICAL_COLL": "1",
+		"MV2_SOMETHING_UNKNOWN":     "whatever",
+		"PATH":                      "/usr/bin",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Tunables.SMPEagerSize != 16*1024 {
+		t.Errorf("eager size %d", opts.Tunables.SMPEagerSize)
+	}
+	if opts.Tunables.SMPLengthQueue != 256*1024 {
+		t.Errorf("length queue %d", opts.Tunables.SMPLengthQueue)
+	}
+	if opts.Tunables.IBAEagerThreshold != 17408 {
+		t.Errorf("iba threshold %d", opts.Tunables.IBAEagerThreshold)
+	}
+	if opts.Tunables.UseCMA {
+		t.Error("CMA should be off")
+	}
+	if opts.Mode != core.ModeLocalityAware {
+		t.Error("container support should flip the mode")
+	}
+	if !opts.HierarchicalCollectives {
+		t.Error("hierarchical collectives should be on")
+	}
+}
+
+func TestOptionsFromEnvErrors(t *testing.T) {
+	if _, err := OptionsFromEnv(DefaultOptions(), map[string]string{"MV2_SMP_EAGERSIZE": "lots"}); err == nil {
+		t.Error("bad size accepted")
+	}
+	if _, err := OptionsFromEnv(DefaultOptions(), map[string]string{"MV2_SMP_USE_CMA": "maybe"}); err == nil {
+		t.Error("bad bool accepted")
+	}
+	// Inconsistent result (eager above ring budget) must fail validation.
+	if _, err := OptionsFromEnv(DefaultOptions(), map[string]string{"MV2_SMP_EAGERSIZE": "1M"}); err == nil {
+		t.Error("eager > length queue accepted")
+	}
+}
+
+func TestOptionsFromEnvRoundTripsThroughWorld(t *testing.T) {
+	opts, err := OptionsFromEnv(StockOptions(), map[string]string{"MV2_CONTAINER_SUPPORT": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Profile = true
+	w := testWorld(t, "2cont", 2, opts)
+	if err := w.Run(func(r *Rank) error {
+		if r.Rank() == 0 {
+			r.Send(1, 0, make([]byte, 64))
+		} else {
+			r.Recv(0, 0, make([]byte, 64))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ops := w.Prof.TotalChannels().Ops; ops[core.ChannelHCA] != 0 {
+		t.Errorf("MV2_CONTAINER_SUPPORT=1 should avoid HCA intra-host: %v", ops)
+	}
+}

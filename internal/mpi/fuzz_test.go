@@ -1,0 +1,26 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzHCAHeaderRoundTrip checks that the wire header codec is a bijection
+// for all representable field values (go test runs the seed corpus as a
+// regression test; `go test -fuzz=FuzzHCAHeader` explores further).
+func FuzzHCAHeaderRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint16(0), uint32(0), int32(0), uint32(0), uint64(0), uint64(0), []byte{})
+	f.Add(hcaEager, uint16(7), uint32(12), int32(-9), uint32(5), uint64(42), uint64(99), []byte("hello"))
+	f.Add(hcaRTS, uint16(0x8001), uint32(255), int32(1<<30), uint32(1<<20), uint64(1)<<63, uint64(7), []byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, kind uint8, ctx uint16, src uint32, tag int32, size uint32, seq, msgID uint64, payload []byte) {
+		wire := putHdr(kind, int(ctx), int(src), int(tag), int(size), seq, msgID, payload)
+		m := parseHdr(wire)
+		if m.kind != kind || m.ctx != int(ctx) || m.src != int(src) || m.tag != int(tag) ||
+			m.size != int(size) || m.seq != seq || m.msgID != msgID {
+			t.Fatalf("header fields corrupted: %+v", m)
+		}
+		if !bytes.Equal(m.payload, payload) && !(len(m.payload) == 0 && len(payload) == 0) {
+			t.Fatalf("payload corrupted: %v vs %v", m.payload, payload)
+		}
+	})
+}

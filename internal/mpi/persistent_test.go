@@ -1,0 +1,44 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPersistentRequests(t *testing.T) {
+	w := testWorld(t, "2cont", 2, DefaultOptions())
+	err := w.Run(func(r *Rank) error {
+		const iters = 10
+		buf := make([]byte, 1024)
+		if r.Rank() == 0 {
+			ps := r.SendInit(1, 7, buf)
+			for i := 0; i < iters; i++ {
+				buf[0] = byte(i) // buffer re-read at each Start
+				r.Wait(ps.Start())
+			}
+		} else {
+			in := make([]byte, 1024)
+			pr := r.RecvInit(0, 7, in)
+			for i := 0; i < iters; i++ {
+				st := r.Wait(pr.Start())
+				if st.Bytes != 1024 || in[0] != byte(i) {
+					return fmt.Errorf("iter %d: got %d (%d bytes)", i, in[0], st.Bytes)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldRunTwiceRejected(t *testing.T) {
+	w := testWorld(t, "native", 2, DefaultOptions())
+	if err := w.Run(func(r *Rank) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(r *Rank) error { return nil }); err == nil {
+		t.Fatal("second Run accepted")
+	}
+}

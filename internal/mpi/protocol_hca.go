@@ -1,0 +1,195 @@
+package mpi
+
+import (
+	"encoding/binary"
+
+	"cmpi/internal/core"
+	"cmpi/internal/ib"
+)
+
+// HCA wire message kinds.
+const (
+	hcaEager uint8 = iota // header + full payload in one SEND
+	hcaRTS                // rendezvous request: header only
+	hcaCTS                // rendezvous clear-to-send: header only
+)
+
+// hcaHdrLen is the wire header size: kind, communicator context, source
+// rank, tag, payload size, message sequence, rendezvous id.
+const hcaHdrLen = 32
+
+// putHdr encodes the wire header into a fresh buffer, leaving room for the
+// payload behind it.
+func putHdr(kind uint8, ctx, src, tag, size int, seq, msgID uint64, payload []byte) []byte {
+	buf := make([]byte, hcaHdrLen+len(payload))
+	buf[0] = kind
+	binary.LittleEndian.PutUint16(buf[2:], uint16(ctx))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(src))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(int32(tag)))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(size))
+	binary.LittleEndian.PutUint64(buf[16:], seq)
+	binary.LittleEndian.PutUint64(buf[24:], msgID)
+	copy(buf[hcaHdrLen:], payload)
+	return buf
+}
+
+type hcaMsg struct {
+	kind    uint8
+	ctx     int
+	src     int
+	tag     int
+	size    int
+	seq     uint64
+	msgID   uint64
+	payload []byte
+}
+
+func parseHdr(buf []byte) hcaMsg {
+	return hcaMsg{
+		kind:    buf[0],
+		ctx:     int(binary.LittleEndian.Uint16(buf[2:])),
+		src:     int(binary.LittleEndian.Uint32(buf[4:])),
+		tag:     int(int32(binary.LittleEndian.Uint32(buf[8:]))),
+		size:    int(binary.LittleEndian.Uint32(buf[12:])),
+		seq:     binary.LittleEndian.Uint64(buf[16:]),
+		msgID:   binary.LittleEndian.Uint64(buf[24:]),
+		payload: buf[hcaHdrLen:],
+	}
+}
+
+// hcaEagerSend transmits a small message over the network channel. The
+// payload is copied into a registered bounce buffer (charged), so the send
+// completes locally right away — classic eager semantics.
+func (r *Rank) hcaEagerSend(req *Request) {
+	prm := &r.w.Opts.Params
+	qp := r.qpFor(req.peer)
+	seq := r.sendSeq[req.peer]
+	r.sendSeq[req.peer]++
+	// Copy into the pre-registered eager bounce buffer.
+	r.p.Advance(prm.MemCopy(len(req.sbuf), false))
+	wire := putHdr(hcaEager, req.ctx, r.rank, req.tag, len(req.sbuf), seq, 0, req.sbuf)
+	qp.PostSend(r.p, 0, wire, 0)
+	r.countOp(core.ChannelHCA, len(req.sbuf))
+	r.completeSend(req)
+}
+
+// hcaRndvSend starts a rendezvous transfer: register the user buffer, send
+// RTS, and wait for the CTS to RDMA-write the payload.
+func (r *Rank) hcaRndvSend(req *Request) {
+	qp := r.qpFor(req.peer)
+	seq := r.sendSeq[req.peer]
+	r.sendSeq[req.peer]++
+	msgID := r.w.newMsgID()
+	r.w.rndv[msgID] = &rndvState{sreq: req}
+	// Pin the payload for the later zero-copy RDMA write.
+	r.p.Advance(r.w.Opts.Params.IBRegister(len(req.sbuf)))
+	qp.PostSend(r.p, 0, putHdr(hcaRTS, req.ctx, r.rank, req.tag, len(req.sbuf), seq, msgID, nil), 0)
+}
+
+// handleCQE dispatches one completion from the rank's CQ.
+func (r *Rank) handleCQE(cqe ib.CQE) {
+	switch cqe.Op {
+	case ib.OpRecv:
+		r.handleHCAMessage(parseHdr(cqe.Buf))
+	case ib.OpWriteImm:
+		// Rendezvous payload landed in our posted buffer: complete the recv.
+		st := r.w.rndv[cqe.Imm]
+		if st == nil || st.rreq == nil {
+			r.p.Fatalf("WRITE_IMM for unknown rendezvous id %d", cqe.Imm)
+		}
+		delete(r.w.rndv, cqe.Imm)
+		env := st.rreq.env
+		env.received = env.size
+		r.completeRecv(st.rreq, env)
+	case ib.OpWrite:
+		ref := r.wridOps[cqe.WRID]
+		if ref == nil {
+			r.p.Fatalf("WRITE completion for unknown wrid %d", cqe.WRID)
+		}
+		delete(r.wridOps, cqe.WRID)
+		switch {
+		case ref.sreq != nil:
+			r.completeSend(ref.sreq)
+		case ref.win != nil:
+			ref.win.outstanding--
+		}
+	case ib.OpRead:
+		ref := r.wridOps[cqe.WRID]
+		if ref == nil {
+			r.p.Fatalf("READ completion for unknown wrid %d", cqe.WRID)
+		}
+		delete(r.wridOps, cqe.WRID)
+		if ref.win != nil {
+			ref.win.outstanding--
+		}
+	case ib.OpSend:
+		// Eager bounce buffers were copied at post time; nothing to do.
+	}
+}
+
+// handleHCAMessage processes an inbound SEND (eager payload or rendezvous
+// control).
+func (r *Rank) handleHCAMessage(m hcaMsg) {
+	prm := &r.w.Opts.Params
+	switch m.kind {
+	case hcaEager:
+		env := &envelope{
+			src: m.src, tag: m.tag, ctx: m.ctx, size: m.size, seq: m.seq,
+			path: core.PathHCAEager, hca: true,
+		}
+		if req := r.matchPosted(m.src, m.tag, m.ctx); req != nil {
+			// Copy from the bounce buffer into the user buffer.
+			r.bindEnvelope(env, req)
+			r.p.Advance(prm.EagerRecvCopy(m.size))
+			copy(req.rbuf, m.payload[:m.size])
+			env.received = m.size
+			r.completeRecv(req, env)
+			return
+		}
+		// Unexpected: the bounce buffer itself is the staging copy.
+		env.staged = m.payload[:m.size]
+		env.received = m.size
+		env.complete = true
+		r.unexpected = append(r.unexpected, env)
+
+	case hcaRTS:
+		env := &envelope{
+			src: m.src, tag: m.tag, ctx: m.ctx, size: m.size, seq: m.seq,
+			path: core.PathHCARndv, hca: true, msgID: m.msgID,
+		}
+		if req := r.matchPosted(m.src, m.tag, m.ctx); req != nil {
+			r.bindEnvelope(env, req)
+			return
+		}
+		r.unexpected = append(r.unexpected, env)
+
+	case hcaCTS:
+		// We are the rendezvous sender: RDMA-write the payload into the
+		// receiver's registered buffer, then complete on the write CQE.
+		st := r.w.rndv[m.msgID]
+		if st == nil || st.mr == nil {
+			r.p.Fatalf("CTS for unknown rendezvous id %d", m.msgID)
+		}
+		qp := r.qpFor(m.src)
+		r.nextWrid++
+		r.wridOps[r.nextWrid] = &wridRef{sreq: st.sreq}
+		qp.PostWrite(r.p, r.nextWrid, st.sreq.sbuf, st.mr, 0, true, m.msgID)
+		r.countOp(core.ChannelHCA, len(st.sreq.sbuf))
+
+	default:
+		r.p.Fatalf("unknown HCA message kind %d", m.kind)
+	}
+}
+
+// hcaSendCTS registers the receive buffer and releases the rendezvous
+// sender (called when an RTS matches a posted receive).
+func (r *Rank) hcaSendCTS(env *envelope, req *Request) {
+	st := r.w.rndv[env.msgID]
+	if st == nil {
+		r.p.Fatalf("RTS for unknown rendezvous id %d", env.msgID)
+	}
+	st.rreq = req
+	st.mr = r.dev.RegisterMR(r.p, req.rbuf[:env.size])
+	qp := r.qpFor(env.src)
+	qp.PostSend(r.p, 0, putHdr(hcaCTS, env.ctx, r.rank, env.tag, env.size, env.seq, env.msgID, nil), 0)
+}

@@ -1,0 +1,375 @@
+package mpi
+
+import (
+	"cmpi/internal/cma"
+	"cmpi/internal/core"
+	"cmpi/internal/shmem"
+	"cmpi/internal/sim"
+)
+
+// pktKind is the type of a shared-memory ring packet.
+type pktKind uint8
+
+const (
+	// pktEagerFirst opens an eager message: envelope plus first fragment.
+	pktEagerFirst pktKind = iota
+	// pktEagerFrag continues an eager or rendezvous-streamed message.
+	pktEagerFrag
+	// pktRTS opens a rendezvous message (CMA or SHM-staged): envelope and
+	// the sender's buffer handle, no payload.
+	pktRTS
+	// pktCTS answers a SHM-staged rendezvous RTS: start streaming.
+	pktCTS
+	// pktFIN completes a CMA rendezvous at the sender.
+	pktFIN
+)
+
+// ctrlFootprint reserves no ring budget: real rings keep dedicated control
+// slots so that control traffic can never deadlock behind data.
+const (
+	pktHeaderBytes = 32
+)
+
+// shmPacket is one entry in a ring direction. Payload bytes are real copies
+// (the double-copy of the eager protocol is both modeled in time and
+// executed in data).
+type shmPacket struct {
+	kind      pktKind
+	seq       uint64 // per (sender->receiver) message sequence
+	tag       int
+	ctx       int // communicator context
+	size      int // total message size (first/RTS)
+	payload   []byte
+	footprint int
+	avail     sim.Time // receiver may consume from this time on
+	sop       *sendOp  // rendezvous linkage (RTS/CTS/FIN)
+	path      core.Path
+}
+
+// ringDir is one direction of a pair's shared ring: a byte-budgeted FIFO.
+type ringDir struct {
+	w        *World
+	sender   int
+	receiver int
+	capacity int
+	used     int
+	q        []*shmPacket
+	stalled  bool // sender hit the budget; receiver must wake it
+}
+
+// shmRing is the per-pair bidirectional eager ring living in a shared
+// memory segment (SMPI_LENGTH_QUEUE bytes of payload budget per direction).
+type shmRing struct {
+	ps   *pairShared
+	seg  *shmem.Segment
+	dirs [2]*ringDir // [0]: lo->hi, [1]: hi->lo
+}
+
+func newShmRing(w *World, ps *pairShared, seg *shmem.Segment) *shmRing {
+	capacity := w.Opts.Tunables.SMPLengthQueue
+	return &shmRing{
+		ps:  ps,
+		seg: seg,
+		dirs: [2]*ringDir{
+			{w: w, sender: ps.lo, receiver: ps.hi, capacity: capacity},
+			{w: w, sender: ps.hi, receiver: ps.lo, capacity: capacity},
+		},
+	}
+}
+
+// out returns the direction rank sends on.
+func (s *shmRing) out(rank int) *ringDir {
+	if rank == s.ps.lo {
+		return s.dirs[0]
+	}
+	return s.dirs[1]
+}
+
+// in returns the direction rank receives on.
+func (s *shmRing) in(rank int) *ringDir {
+	if rank == s.ps.lo {
+		return s.dirs[1]
+	}
+	return s.dirs[0]
+}
+
+// tryPush appends pkt if the budget allows. Control packets (footprint 0)
+// always fit. The receiver is woken at the packet's availability time.
+func (d *ringDir) tryPush(r *Rank, pkt *shmPacket) bool {
+	if pkt.footprint > 0 && d.used+pkt.footprint > d.capacity {
+		d.stalled = true
+		return false
+	}
+	d.used += pkt.footprint
+	pkt.avail = r.p.Now()
+	d.q = append(d.q, pkt)
+	r.w.ranks[d.receiver].p.UnparkAt(pkt.avail)
+	return true
+}
+
+// drain consumes all packets already available at the receiver's clock.
+func (s *shmRing) drain(r *Rank) bool {
+	d := s.in(r.rank)
+	adv := false
+	for len(d.q) > 0 && d.q[0].avail <= r.p.Now() {
+		pkt := d.q[0]
+		d.q = d.q[1:]
+		d.used -= pkt.footprint
+		r.handleShmPacket(s, pkt)
+		adv = true
+	}
+	if adv && d.stalled {
+		d.stalled = false
+		r.w.ranks[d.sender].p.UnparkAt(r.p.Now())
+	}
+	return adv
+}
+
+// opState tracks a ring-bound send operation.
+type opState uint8
+
+const (
+	opEagerPush  opState = iota // pushing eager fragments
+	opRTSPending                // rendezvous: RTS not yet in the ring
+	opAwaitCTS                  // SHM rendezvous: RTS sent, waiting for CTS
+	opStream                    // SHM rendezvous: streaming fragments
+	opAwaitFIN                  // CMA rendezvous: RTS sent, waiting for FIN
+	opDone
+)
+
+// sendOp is one in-flight send on the SHM/CMA channels.
+type sendOp struct {
+	req         *Request
+	dst         int
+	tag         int
+	ctx         int
+	seq         uint64
+	data        []byte // snapshot of the user buffer
+	path        core.Path
+	offset      int
+	firstPushed bool
+	state       opState
+}
+
+// enqueueShmSend queues a ring-bound send and pushes what fits immediately.
+func (r *Rank) enqueueShmSend(req *Request, path core.Path) {
+	op := &sendOp{
+		req:  req,
+		dst:  req.peer,
+		tag:  req.tag,
+		ctx:  req.ctx,
+		seq:  r.sendSeq[req.peer],
+		data: append([]byte(nil), req.sbuf...),
+		path: path,
+	}
+	r.sendSeq[req.peer]++
+	req.op = op
+	if path == core.PathSHMEager {
+		op.state = opEagerPush
+	} else {
+		op.state = opRTSPending
+	}
+	r.sendQ[req.peer] = append(r.sendQ[req.peer], op)
+	if !r.dstListed[req.peer] {
+		r.dstListed[req.peer] = true
+		r.sendDsts = append(r.sendDsts, req.peer)
+	}
+	r.pushSends(req.peer)
+}
+
+// pushSends advances the per-destination send queue. First packets are
+// pushed strictly in queue order (preserving MPI matching order); fragments
+// of distinct messages may interleave because the receiver routes them by
+// sequence number.
+func (r *Rank) pushSends(dst int) bool {
+	q := r.sendQ[dst]
+	if len(q) == 0 {
+		return false
+	}
+	ring := r.ringFor(dst)
+	d := ring.out(r.rank)
+	adv := false
+	for _, op := range q {
+		if r.pushOp(d, op) {
+			adv = true
+		}
+		if !op.firstPushed {
+			break // later firsts must not overtake this one
+		}
+	}
+	// Compact: drop ops that need no further ring pushes.
+	keep := q[:0]
+	for _, op := range q {
+		if op.state == opDone || op.state == opAwaitFIN {
+			continue
+		}
+		keep = append(keep, op)
+	}
+	r.sendQ[dst] = keep
+	return adv
+}
+
+// pushOp pushes as many packets of op as budget allows, charging the
+// sender's clock for per-packet overhead and copies.
+func (r *Rank) pushOp(d *ringDir, op *sendOp) bool {
+	prm := &r.w.Opts.Params
+
+	if op.state == opRTSPending {
+		// Rendezvous envelope: a zero-footprint control packet carrying
+		// the message metadata and the sender's buffer handle.
+		pkt := &shmPacket{
+			kind: pktRTS, seq: op.seq, tag: op.tag, ctx: op.ctx, size: len(op.data),
+			sop: op, path: op.path,
+		}
+		r.p.Advance(prm.ShmPostOverhead)
+		if !d.tryPush(r, pkt) {
+			return false
+		}
+		op.firstPushed = true
+		if op.path == core.PathCMARndv {
+			op.state = opAwaitFIN
+		} else {
+			op.state = opAwaitCTS
+		}
+		return true
+	}
+	if op.state != opEagerPush && op.state != opStream {
+		return false
+	}
+
+	cs := r.crossSocket(op.dst)
+	cell := prm.ShmCellPayload
+	adv := false
+	for op.offset < len(op.data) || !op.firstPushed {
+		n := len(op.data) - op.offset
+		if n > cell {
+			n = cell
+		}
+		kind := pktEagerFrag
+		if !op.firstPushed {
+			kind = pktEagerFirst
+		}
+		pkt := &shmPacket{
+			kind: kind, seq: op.seq, tag: op.tag, ctx: op.ctx, size: len(op.data),
+			payload:   op.data[op.offset : op.offset+n],
+			footprint: n + pktHeaderBytes, sop: op, path: op.path,
+		}
+		// Charge before pushing: claiming the cell plus the copy in. A
+		// failed push keeps the charge as retry cost, matching a real
+		// sender's failed poll-and-retry work.
+		r.p.Advance(prm.ShmPostOverhead + prm.MemCopy(n, cs) + r.containerOverhead())
+		if !d.tryPush(r, pkt) {
+			return adv
+		}
+		r.countOp(core.ChannelSHM, n)
+		op.firstPushed = true
+		op.offset += n
+		adv = true
+	}
+	op.state = opDone
+	r.completeSend(op.req)
+	return adv
+}
+
+// handleShmPacket processes one inbound ring packet on the receiver.
+func (r *Rank) handleShmPacket(ring *shmRing, pkt *shmPacket) {
+	prm := &r.w.Opts.Params
+	d := ring.in(r.rank)
+	src := d.sender
+	switch pkt.kind {
+	case pktEagerFirst, pktRTS:
+		r.p.Advance(prm.ShmPollOverhead)
+		env := &envelope{
+			src: src, tag: pkt.tag, ctx: pkt.ctx, size: pkt.size, seq: pkt.seq,
+			path: pkt.path, sop: pkt.sop,
+		}
+		if pkt.kind == pktEagerFirst {
+			r.streams[streamKey{src: src, seq: pkt.seq}] = env
+		}
+		if req := r.matchPosted(src, pkt.tag, pkt.ctx); req != nil {
+			r.bindEnvelope(env, req)
+		} else {
+			if pkt.kind == pktEagerFirst {
+				env.staged = make([]byte, pkt.size)
+			}
+			r.unexpected = append(r.unexpected, env)
+		}
+		if pkt.kind == pktEagerFirst {
+			r.acceptFrag(env, pkt.payload)
+		}
+
+	case pktEagerFrag:
+		env := r.streams[streamKey{src: src, seq: pkt.seq}]
+		if env == nil {
+			r.p.Fatalf("shm fragment for unknown stream src=%d seq=%d", src, pkt.seq)
+		}
+		r.p.Advance(prm.ShmPollOverhead)
+		r.acceptFrag(env, pkt.payload)
+
+	case pktCTS:
+		// We are the original sender: start streaming the payload.
+		op := pkt.sop
+		op.state = opStream
+		r.pushSends(op.dst)
+
+	case pktFIN:
+		// We are the original sender of a CMA rendezvous: buffer released.
+		op := pkt.sop
+		op.state = opDone
+		r.completeSend(op.req)
+	}
+}
+
+// acceptFrag lands one fragment of an eager/streamed message, charging the
+// receiver-side copy-out.
+func (r *Rank) acceptFrag(env *envelope, payload []byte) {
+	prm := &r.w.Opts.Params
+	cs := r.crossSocket(env.src)
+	r.p.Advance(prm.MemCopy(len(payload), cs) + r.containerOverhead())
+	if env.req != nil {
+		copy(env.req.rbuf[env.received:], payload)
+	} else {
+		copy(env.staged[env.received:], payload)
+	}
+	env.received += len(payload)
+	if env.received >= env.size {
+		delete(r.streams, streamKey{src: env.src, seq: env.seq})
+		if env.req != nil {
+			r.completeRecv(env.req, env)
+		} else {
+			env.complete = true
+		}
+	}
+}
+
+// performCMARead executes the single-copy rendezvous: the receiver pulls
+// the payload straight out of the sender's user buffer with one
+// process_vm_readv call, then releases the sender with a FIN.
+func (r *Rank) performCMARead(env *envelope, req *Request) {
+	prm := &r.w.Opts.Params
+	cs := r.crossSocket(env.src)
+	senderEnv := r.w.Deploy.Placements[env.src].Env
+	r.p.Advance(prm.CMACopy(env.size, cs) + r.containerOverhead())
+	if _, err := cma.Readv(r.env, senderEnv, req.rbuf[:env.size], env.sop.data); err != nil {
+		r.p.Fatalf("CMA read from rank %d: %v", env.src, err)
+	}
+	r.countOp(core.ChannelCMA, env.size)
+	r.pushControl(env.src, &shmPacket{kind: pktFIN, sop: env.sop})
+	r.completeRecv(req, env)
+}
+
+// sendCTS releases a SHM-staged rendezvous sender.
+func (r *Rank) sendCTS(env *envelope) {
+	r.streams[streamKey{src: env.src, seq: env.seq}] = env
+	r.pushControl(env.src, &shmPacket{kind: pktCTS, sop: env.sop})
+}
+
+// pushControl sends a zero-footprint control packet to peer.
+func (r *Rank) pushControl(peer int, pkt *shmPacket) {
+	ring := r.ringFor(peer)
+	d := ring.out(r.rank)
+	r.p.Advance(r.w.Opts.Params.ShmPostOverhead)
+	if !d.tryPush(r, pkt) {
+		r.p.Fatalf("control packet rejected by ring %d->%d", r.rank, peer)
+	}
+}

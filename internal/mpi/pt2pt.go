@@ -1,0 +1,429 @@
+package mpi
+
+import (
+	"cmpi/internal/core"
+)
+
+// Status describes a completed receive.
+type Status struct {
+	// Source is the sending rank.
+	Source int
+	// Tag is the matched tag.
+	Tag int
+	// Bytes is the received message size.
+	Bytes int
+}
+
+// Request is a nonblocking operation handle (MPI_Request).
+type Request struct {
+	r      *Rank
+	isSend bool
+	done   bool
+	peer   int // send: destination; recv: source selector (AnySource ok)
+	tag    int // send: tag; recv: tag selector (AnyTag ok)
+	ctx    int // communicator context id (0 = MPI_COMM_WORLD)
+	sbuf   []byte
+	rbuf   []byte
+	status Status
+	op     *sendOp
+	env    *envelope
+}
+
+// Done reports completion without progressing the engine (see Test).
+func (req *Request) Done() bool { return req.done }
+
+// streamKey routes in-flight fragments to their message.
+type streamKey struct {
+	src int
+	seq uint64
+}
+
+// envelope is the receiver-side record of one inbound message: created at
+// the first packet (eager first fragment, RTS, or full HCA eager payload)
+// and matched against posted receives in arrival order.
+type envelope struct {
+	src, tag, size int
+	ctx            int
+	seq            uint64
+	path           core.Path
+	req            *Request // posted receive once matched
+	staged         []byte   // unexpected-eager staging buffer
+	received       int
+	complete       bool
+	sop            *sendOp // SHM/CMA rendezvous: sender's op (buffer handle)
+	msgID          uint64  // HCA rendezvous id
+	hca            bool
+}
+
+// matchPosted removes and returns the first posted receive matching
+// (src, tag, ctx), or nil. Context ids never match wildcards: messages on
+// one communicator are invisible to receives on another.
+func (r *Rank) matchPosted(src, tag, ctx int) *Request {
+	for i, req := range r.posted {
+		if req.ctx == ctx && (req.peer == AnySource || req.peer == src) && (req.tag == AnyTag || req.tag == tag) {
+			r.posted = append(r.posted[:i], r.posted[i+1:]...)
+			return req
+		}
+	}
+	return nil
+}
+
+// matchUnexpected removes and returns the first unexpected envelope
+// matching the receive selectors, or nil.
+func (r *Rank) matchUnexpected(src, tag, ctx int) *envelope {
+	for i, env := range r.unexpected {
+		if env.ctx == ctx && (src == AnySource || env.src == src) && (tag == AnyTag || env.tag == tag) {
+			r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
+			return env
+		}
+	}
+	return nil
+}
+
+// peekUnexpected is matchUnexpected without removal (for Probe).
+func (r *Rank) peekUnexpected(src, tag, ctx int) *envelope {
+	for _, env := range r.unexpected {
+		if env.ctx == ctx && (src == AnySource || env.src == src) && (tag == AnyTag || env.tag == tag) {
+			return env
+		}
+	}
+	return nil
+}
+
+// bindEnvelope attaches a matched envelope to its posted receive and starts
+// (or finishes) the data movement appropriate for the message's path.
+func (r *Rank) bindEnvelope(env *envelope, req *Request) {
+	if env.size > len(req.rbuf) {
+		r.p.Fatalf("MPI truncation: %d-byte message from rank %d (tag %d) into %d-byte buffer",
+			env.size, env.src, env.tag, len(req.rbuf))
+	}
+	req.status = Status{Source: env.src, Tag: env.tag, Bytes: env.size}
+	env.req = req
+	req.env = env
+	switch env.path {
+	case core.PathCMARndv:
+		r.performCMARead(env, req)
+	case core.PathSHMRndv:
+		r.sendCTS(env)
+	case core.PathHCARndv:
+		r.hcaSendCTS(env, req)
+	default: // eager (SHM or HCA): copy whatever is already staged
+		if env.received > 0 {
+			if env.hca {
+				r.p.Advance(r.w.Opts.Params.EagerRecvCopy(env.received))
+			} else {
+				r.p.Advance(r.w.Opts.Params.MemCopy(env.received, r.crossSocket(env.src)))
+			}
+			copy(req.rbuf, env.staged[:env.received])
+		}
+		if env.received >= env.size {
+			r.completeRecv(req, env)
+		}
+	}
+}
+
+// completeRecv finishes a receive.
+func (r *Rank) completeRecv(req *Request, env *envelope) {
+	req.status = Status{Source: env.src, Tag: env.tag, Bytes: env.size}
+	req.done = true
+	r.trace("recv", env.path.String(), env.src, env.tag, env.ctx, env.size)
+}
+
+// completeSend finishes a send (buffer reusable).
+func (r *Rank) completeSend(req *Request) {
+	req.done = true
+}
+
+// selfSend delivers a message a rank addresses to itself via one local copy.
+func (r *Rank) selfSend(req *Request) {
+	env := &envelope{
+		src: r.rank, tag: req.tag, size: len(req.sbuf),
+		ctx:  req.ctx,
+		path: core.PathSHMEager,
+		seq:  r.sendSeq[r.rank],
+	}
+	r.sendSeq[r.rank]++
+	r.p.Advance(r.w.Opts.Params.MemCopy(len(req.sbuf), false))
+	env.staged = append([]byte(nil), req.sbuf...)
+	env.received = env.size
+	env.complete = true
+	r.countOp(core.ChannelSHM, env.size)
+	if posted := r.matchPosted(r.rank, req.tag, req.ctx); posted != nil {
+		r.bindEnvelope(env, posted)
+	} else {
+		r.unexpected = append(r.unexpected, env)
+	}
+	r.completeSend(req)
+}
+
+// Isend starts a nonblocking send of data to rank dst with the given tag.
+// The buffer must not be modified until the request completes.
+func (r *Rank) Isend(dst, tag int, data []byte) *Request {
+	r.profEnter()
+	defer r.profExit("Isend")
+	return r.isendCtx(dst, tag, 0, data)
+}
+
+// isend is Isend without profiling brackets (for internal callers that
+// attribute to their own call name).
+func (r *Rank) isend(dst, tag int, data []byte) *Request {
+	return r.isendCtx(dst, tag, 0, data)
+}
+
+// isendCtx starts a send on an arbitrary communicator context.
+func (r *Rank) isendCtx(dst, tag, ctx int, data []byte) *Request {
+	if dst < 0 || dst >= r.size {
+		r.p.Fatalf("Isend to rank %d outside world of size %d", dst, r.size)
+	}
+	req := &Request{r: r, isSend: true, peer: dst, tag: tag, ctx: ctx, sbuf: data}
+	if dst == r.rank {
+		r.trace("send", "self", req.peer, tag, ctx, len(data))
+		r.selfSend(req)
+		return req
+	}
+	path := r.pathFor(dst, len(data))
+	r.trace("send", path.String(), dst, tag, ctx, len(data))
+	switch path {
+	case core.PathSHMEager, core.PathSHMRndv, core.PathCMARndv:
+		r.enqueueShmSend(req, path)
+	case core.PathHCAEager:
+		r.hcaEagerSend(req)
+	case core.PathHCARndv:
+		r.hcaRndvSend(req)
+	}
+	return req
+}
+
+// Irecv starts a nonblocking receive into buf. src may be AnySource and tag
+// may be AnyTag.
+func (r *Rank) Irecv(src, tag int, buf []byte) *Request {
+	r.profEnter()
+	defer r.profExit("Irecv")
+	return r.irecvCtx(src, tag, 0, buf)
+}
+
+func (r *Rank) irecv(src, tag int, buf []byte) *Request {
+	return r.irecvCtx(src, tag, 0, buf)
+}
+
+// irecvCtx posts a receive on an arbitrary communicator context.
+func (r *Rank) irecvCtx(src, tag, ctx int, buf []byte) *Request {
+	if src != AnySource && (src < 0 || src >= r.size) {
+		r.p.Fatalf("Irecv from rank %d outside world of size %d", src, r.size)
+	}
+	req := &Request{r: r, peer: src, tag: tag, ctx: ctx, rbuf: buf}
+	if env := r.matchUnexpected(src, tag, ctx); env != nil {
+		r.bindEnvelope(env, req)
+	} else {
+		r.posted = append(r.posted, req)
+	}
+	return req
+}
+
+// Wait blocks until the request completes and returns its status.
+func (r *Rank) Wait(req *Request) Status {
+	r.profEnter()
+	defer r.profExit("Wait")
+	return r.wait(req)
+}
+
+func (r *Rank) wait(req *Request) Status {
+	r.waitUntil(func() bool { return req.done })
+	return req.status
+}
+
+// WaitAll blocks until every request completes.
+func (r *Rank) WaitAll(reqs ...*Request) {
+	r.profEnter()
+	defer r.profExit("Waitall")
+	r.waitUntil(func() bool {
+		for _, req := range reqs {
+			if !req.done {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// WaitAny blocks until at least one request completes and returns its
+// index and status (MPI_Waitany).
+func (r *Rank) WaitAny(reqs ...*Request) (int, Status) {
+	r.profEnter()
+	defer r.profExit("Waitany")
+	idx := -1
+	r.waitUntil(func() bool {
+		for i, req := range reqs {
+			if req.done {
+				idx = i
+				return true
+			}
+		}
+		return false
+	})
+	return idx, reqs[idx].status
+}
+
+// TestAll progresses the engine once and reports whether every request has
+// completed (MPI_Testall).
+func (r *Rank) TestAll(reqs ...*Request) bool {
+	r.profEnter()
+	defer r.profExit("Testall")
+	all := func() bool {
+		for _, req := range reqs {
+			if !req.done {
+				return false
+			}
+		}
+		return true
+	}
+	if !all() {
+		r.progress()
+	}
+	return all()
+}
+
+// TestAny progresses the engine once and returns the index of a completed
+// request, or -1 (MPI_Testany).
+func (r *Rank) TestAny(reqs ...*Request) (int, Status, bool) {
+	r.profEnter()
+	defer r.profExit("Testany")
+	find := func() int {
+		for i, req := range reqs {
+			if req.done {
+				return i
+			}
+		}
+		return -1
+	}
+	if find() < 0 {
+		r.progress()
+	}
+	if i := find(); i >= 0 {
+		return i, reqs[i].status, true
+	}
+	return -1, Status{}, false
+}
+
+// Test progresses the engine once and reports whether the request has
+// completed (MPI_Test).
+func (r *Rank) Test(req *Request) (Status, bool) {
+	r.profEnter()
+	defer r.profExit("Test")
+	if !req.done {
+		r.progress()
+	}
+	return req.status, req.done
+}
+
+// Send is a blocking send.
+func (r *Rank) Send(dst, tag int, data []byte) {
+	r.profEnter()
+	defer r.profExit("Send")
+	r.wait(r.isend(dst, tag, data))
+}
+
+// Ssend is a blocking synchronous send (MPI_Ssend): it completes only after
+// the receiver has matched the message. Implemented by forcing the
+// rendezvous protocol regardless of message size — rendezvous completion
+// inherently requires a matched receive on every channel.
+func (r *Rank) Ssend(dst, tag int, data []byte) {
+	r.profEnter()
+	defer r.profExit("Ssend")
+	if dst == r.rank {
+		r.p.Fatalf("Ssend to self would deadlock (no receive can match within the call)")
+	}
+	req := &Request{r: r, isSend: true, peer: dst, tag: tag, sbuf: data}
+	switch path := r.pathFor(dst, len(data)); path {
+	case core.PathSHMEager, core.PathSHMRndv, core.PathCMARndv:
+		// Force the rendezvous flavor of the local channel.
+		forced := core.PathSHMRndv
+		if r.caps[dst].SharedPID && r.w.Opts.Tunables.UseCMA {
+			forced = core.PathCMARndv
+		}
+		r.trace("ssend", forced.String(), dst, tag, 0, len(data))
+		r.enqueueShmSend(req, forced)
+	default:
+		r.trace("ssend", core.PathHCARndv.String(), dst, tag, 0, len(data))
+		r.hcaRndvSend(req)
+	}
+	r.wait(req)
+}
+
+// Recv is a blocking receive; it returns the matched status.
+func (r *Rank) Recv(src, tag int, buf []byte) Status {
+	r.profEnter()
+	defer r.profExit("Recv")
+	return r.wait(r.irecv(src, tag, buf))
+}
+
+// Sendrecv performs a blocking combined send and receive (deadlock-free).
+func (r *Rank) Sendrecv(dst, sendTag int, sendData []byte, src, recvTag int, recvBuf []byte) Status {
+	r.profEnter()
+	defer r.profExit("Sendrecv")
+	rq := r.irecv(src, recvTag, recvBuf)
+	sq := r.isend(dst, sendTag, sendData)
+	st := r.wait(rq)
+	r.wait(sq)
+	return st
+}
+
+// PersistentRequest is a reusable communication specification
+// (MPI_Send_init / MPI_Recv_init). Start launches one instance; the
+// returned Request is waited on as usual.
+type PersistentRequest struct {
+	r      *Rank
+	isSend bool
+	peer   int
+	tag    int
+	buf    []byte
+}
+
+// SendInit creates a persistent send specification; the buffer is read at
+// each Start.
+func (r *Rank) SendInit(dst, tag int, data []byte) *PersistentRequest {
+	return &PersistentRequest{r: r, isSend: true, peer: dst, tag: tag, buf: data}
+}
+
+// RecvInit creates a persistent receive specification.
+func (r *Rank) RecvInit(src, tag int, buf []byte) *PersistentRequest {
+	return &PersistentRequest{r: r, peer: src, tag: tag, buf: buf}
+}
+
+// Start launches one instance of the persistent operation.
+func (pr *PersistentRequest) Start() *Request {
+	pr.r.profEnter()
+	defer pr.r.profExit("Start")
+	if pr.isSend {
+		return pr.r.isend(pr.peer, pr.tag, pr.buf)
+	}
+	return pr.r.irecv(pr.peer, pr.tag, pr.buf)
+}
+
+// Iprobe reports whether a matching message is available without receiving
+// it (progresses the engine once).
+func (r *Rank) Iprobe(src, tag int) (Status, bool) {
+	r.profEnter()
+	defer r.profExit("Iprobe")
+	if env := r.peekUnexpected(src, tag, 0); env != nil {
+		return Status{Source: env.src, Tag: env.tag, Bytes: env.size}, true
+	}
+	r.progress()
+	if env := r.peekUnexpected(src, tag, 0); env != nil {
+		return Status{Source: env.src, Tag: env.tag, Bytes: env.size}, true
+	}
+	return Status{}, false
+}
+
+// Probe blocks until a matching message is available and returns its
+// envelope information.
+func (r *Rank) Probe(src, tag int) Status {
+	r.profEnter()
+	defer r.profExit("Probe")
+	var env *envelope
+	r.waitUntil(func() bool {
+		env = r.peekUnexpected(src, tag, 0)
+		return env != nil
+	})
+	return Status{Source: env.src, Tag: env.tag, Bytes: env.size}
+}

@@ -1,0 +1,302 @@
+package mpi
+
+import (
+	"fmt"
+
+	"cmpi/internal/cluster"
+	"cmpi/internal/core"
+	"cmpi/internal/ib"
+	"cmpi/internal/profile"
+	"cmpi/internal/sim"
+)
+
+// Rank is one MPI process. All communication methods must be called from
+// the rank's own simulated process (inside the body passed to World.Run).
+type Rank struct {
+	w    *World
+	p    *sim.Proc
+	rank int
+	size int
+
+	pl     cluster.Placement
+	env    *cluster.Container
+	socket int
+
+	dev    *ib.Device
+	devErr error
+	cq     *ib.CQ
+
+	det  *core.Detector
+	caps []core.PeerCapabilities
+
+	// matching state
+	posted     []*Request
+	unexpected []*envelope
+	streams    map[streamKey]*envelope // in-flight fragment routing
+	winCount   int                     // windows created (collective order index)
+
+	// send-side state
+	sendSeq    []uint64            // next message seq per destination
+	sendQ      map[int][]*sendOp   // per-destination FIFO of ring-bound sends
+	sendDsts   []int               // destinations with queued ops, in first-use order (deterministic iteration)
+	dstListed  map[int]bool        // membership set for sendDsts
+	wridOps    map[uint64]*wridRef // HCA completion routing
+	nextWrid   uint64
+	collSeq    int
+	localPairs []*pairShared
+
+	prof *profile.RankProfile
+}
+
+// wridRef routes an HCA completion back to the operation that posted it.
+type wridRef struct {
+	sreq *Request // send to complete (rendezvous RPUT data)
+	win  *Win     // RMA op to retire
+}
+
+func newRank(w *World, i int) *Rank {
+	pl := w.Deploy.Placements[i]
+	r := &Rank{
+		w:         w,
+		rank:      i,
+		size:      w.Deploy.Size(),
+		pl:        pl,
+		env:       pl.Env,
+		socket:    pl.Socket(),
+		sendSeq:   make([]uint64, w.Deploy.Size()),
+		sendQ:     make(map[int][]*sendOp),
+		dstListed: make(map[int]bool),
+		wridOps:   make(map[uint64]*wridRef),
+		streams:   make(map[streamKey]*envelope),
+	}
+	if w.Prof != nil {
+		r.prof = w.Prof.Ranks[i]
+	}
+	return r
+}
+
+// Rank returns the global rank.
+func (r *Rank) Rank() int { return r.rank }
+
+// Size returns the job size (MPI_COMM_WORLD size).
+func (r *Rank) Size() int { return r.size }
+
+// Now returns the rank's virtual clock.
+func (r *Rank) Now() sim.Time { return r.p.Now() }
+
+// Hostname is the rank's view of gethostname().
+func (r *Rank) Hostname() string { return r.env.Hostname() }
+
+// Compute charges units of local work to the virtual clock (the workload's
+// computation model).
+func (r *Rank) Compute(units float64) {
+	r.p.Advance(r.w.Opts.Params.Compute(units))
+}
+
+// Abort terminates the whole job with a formatted error (MPI_Abort).
+func (r *Rank) Abort(format string, args ...any) {
+	r.p.Fatalf(format, args...)
+}
+
+// LocalRanks returns the co-resident ranks as the library believes them:
+// detector results in locality-aware mode, hostname groups otherwise.
+func (r *Rank) LocalRanks() []int {
+	var out []int
+	for peer := 0; peer < r.size; peer++ {
+		if peer == r.rank || core.TreatLocal(r.w.Opts.Mode, r.caps[peer]) {
+			out = append(out, peer)
+		}
+	}
+	return out
+}
+
+// init is MPI_Init: open the HCA, run the Container Locality Detector, and
+// build the per-peer capability table.
+func (r *Rank) init() error {
+	p := r.w.Opts.Params
+
+	// Open the device (needs --privileged inside containers). A failure is
+	// only fatal if some peer actually requires the HCA channel.
+	r.dev, r.devErr = r.w.fabric.OpenDevice(r.env)
+	if r.dev != nil {
+		r.cq = r.dev.CreateCQ()
+		r.cq.SetWaiter(r.p)
+	}
+
+	// Container Locality Detector (the paper's design) publishes before the
+	// bootstrap barrier and snapshots after it.
+	var det *core.Detector
+	if r.w.Opts.Mode == core.ModeLocalityAware {
+		var err error
+		det, err = core.NewDetector(r.w.shm, r.w.jobID, r.env, r.rank, r.size)
+		if err != nil {
+			return err
+		}
+		r.p.Advance(p.ShmAttachOverhead)
+		if r.w.Opts.LockedDetector {
+			// Ablation: a mutex-protected list serializes co-resident
+			// publishers (the cost the paper's byte-per-rank design avoids).
+			// Book the lock window before advancing — Advance may yield and
+			// another local rank must not grab the same window.
+			start := r.p.Now()
+			if free := r.w.detLock[r.env.Host]; free > start {
+				start = free
+			}
+			end := start + core.LockedPublishHold
+			r.w.detLock[r.env.Host] = end
+			det.Publish()
+			r.p.Advance(end - r.p.Now())
+		} else {
+			det.Publish()
+			r.p.Advance(core.LockFreePublishCost)
+		}
+		r.det = det
+	}
+	r.w.pmiBarrier(r)
+
+	var loc core.Locality
+	if det != nil {
+		loc = det.Snapshot()
+		// Scanning one byte per rank: ~0.5 ns each.
+		r.p.Advance(sim.FromNanos(0.5 * float64(r.size)))
+	}
+
+	r.caps = make([]core.PeerCapabilities, r.size)
+	needHCA := false
+	for peer := 0; peer < r.size; peer++ {
+		if peer == r.rank {
+			continue
+		}
+		penv := r.w.Deploy.Placements[peer].Env
+		cap := core.PeerCapabilities{
+			SameHost:     r.env.SameHost(penv),
+			SameHostname: r.env.Hostname() == penv.Hostname(),
+			SharedIPC:    r.env.SameHost(penv) && r.env.SharesNamespace(cluster.IPC, penv),
+			SharedPID:    r.env.SameHost(penv) && r.env.SharesNamespace(cluster.PID, penv),
+		}
+		if det != nil {
+			cap.DetectedLocal = loc.IsLocal(peer)
+		}
+		r.caps[peer] = cap
+		if !core.TreatLocal(r.w.Opts.Mode, cap) || !cap.SharedIPC {
+			needHCA = true
+		}
+	}
+	if needHCA && r.dev == nil {
+		return fmt.Errorf("rank %d in %s needs the HCA channel but cannot open the device: %w",
+			r.rank, r.env, r.devErr)
+	}
+	return nil
+}
+
+// finalizeCheck asserts there are no dangling requests at MPI_Finalize.
+func (r *Rank) finalizeCheck() {
+	if n := len(r.posted); n != 0 {
+		r.p.Fatalf("MPI_Finalize with %d posted receives outstanding", n)
+	}
+	for dst, q := range r.sendQ {
+		if len(q) != 0 {
+			r.p.Fatalf("MPI_Finalize with %d sends to rank %d outstanding", len(q), dst)
+		}
+	}
+}
+
+// pathFor applies the paper's channel selection (Fig. 5) for a message of
+// the given size to peer.
+func (r *Rank) pathFor(peer, size int) core.Path {
+	return core.SelectPath(r.w.Opts.Mode, r.w.Opts.Tunables, r.caps[peer], size)
+}
+
+// crossSocket reports whether r and peer are pinned to different sockets
+// (memcpy and CMA bandwidths differ across the QPI link).
+func (r *Rank) crossSocket(peer int) bool {
+	return r.w.Deploy.Placements[peer].Socket() != r.socket
+}
+
+// trace emits one message-event line when Options.Trace is set.
+func (r *Rank) trace(event, path string, peer, tag, ctx, bytes int) {
+	if r.w.Opts.Trace == nil {
+		return
+	}
+	fmt.Fprintf(r.w.Opts.Trace, "t=%v %s rank=%d peer=%d tag=%d ctx=%#x bytes=%d path=%s\n",
+		r.p.Now(), event, r.rank, peer, tag, ctx, bytes, path)
+}
+
+// containerOverhead is the extra per-operation kernel-path cost paid when
+// this rank runs inside a container (zero natively).
+func (r *Rank) containerOverhead() sim.Time {
+	if r.env.IsNative() {
+		return 0
+	}
+	return r.w.Opts.Params.ContainerPacketOverhead
+}
+
+// countOp records one channel transfer operation for the profiler.
+func (r *Rank) countOp(ch core.Channel, n int) {
+	if r.prof != nil {
+		r.prof.Channels.Add(ch, n)
+	}
+}
+
+// profEnter/profExit bracket a public MPI call for mpiP-style accounting.
+func (r *Rank) profEnter() {
+	if r.prof != nil {
+		r.prof.Enter(r.p.Now())
+	}
+}
+
+func (r *Rank) profExit(call string) {
+	if r.prof != nil {
+		r.prof.Exit(call, r.p.Now())
+	}
+}
+
+// progress runs one sweep of the progress engine: drain shared-memory
+// rings, poll the CQ, and push stalled sends. It reports whether anything
+// advanced.
+func (r *Rank) progress() bool {
+	adv := false
+	for _, ps := range r.localPairs {
+		if ps.ring.drain(r) {
+			adv = true
+		}
+	}
+	if r.cq != nil {
+		for _, cqe := range r.cq.Poll(r.p) {
+			r.handleCQE(cqe)
+			adv = true
+		}
+	}
+	// Iterate destinations in first-use order (never map order) so that
+	// virtual-time charging is deterministic across runs.
+	live := r.sendDsts[:0]
+	for _, dst := range r.sendDsts {
+		if r.pushSends(dst) {
+			adv = true
+		}
+		if len(r.sendQ[dst]) > 0 {
+			live = append(live, dst)
+		} else {
+			r.dstListed[dst] = false
+		}
+	}
+	r.sendDsts = live
+	return adv
+}
+
+// waitUntil drives progress until cond holds, parking when idle. Every
+// external state change that could satisfy cond wakes the rank.
+func (r *Rank) waitUntil(cond func() bool) {
+	for {
+		if cond() {
+			return
+		}
+		if r.progress() {
+			continue
+		}
+		if cond() {
+			return
+		}
+		r.p.Park()
+	}
+}

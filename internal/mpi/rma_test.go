@@ -1,0 +1,207 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"cmpi/internal/core"
+	"cmpi/internal/sim"
+)
+
+func TestPutGetAllScenariosAllModes(t *testing.T) {
+	for _, scenario := range []string{"native", "2cont", "isolated", "2host"} {
+		for _, mode := range []core.Mode{core.ModeDefault, core.ModeLocalityAware} {
+			t.Run(fmt.Sprintf("%s/%v", scenario, mode), func(t *testing.T) {
+				opts := DefaultOptions()
+				opts.Mode = mode
+				w := testWorld(t, scenario, 2, opts)
+				err := w.Run(func(r *Rank) error {
+					winBuf := make([]byte, 1<<20)
+					win := r.WinCreate(winBuf)
+					defer win.Free()
+					if r.Rank() == 0 {
+						for _, sz := range []int{1, 100, 8192, 1 << 19} {
+							data := make([]byte, sz)
+							for i := range data {
+								data[i] = byte(sz + i)
+							}
+							win.Put(1, 64, data)
+							win.Flush()
+							back := make([]byte, sz)
+							win.Get(1, 64, back)
+							win.Flush()
+							if !bytes.Equal(back, data) {
+								return fmt.Errorf("put/get %d bytes mismatch", sz)
+							}
+						}
+					}
+					win.Fence()
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestPutVisibleAfterFence(t *testing.T) {
+	w := testWorld(t, "2cont", 2, DefaultOptions())
+	err := w.Run(func(r *Rank) error {
+		buf := make([]byte, 128)
+		win := r.WinCreate(buf)
+		defer win.Free()
+		win.Fence()
+		if r.Rank() == 0 {
+			win.Put(1, 10, []byte("hello rma"))
+		}
+		win.Fence()
+		if r.Rank() == 1 {
+			if string(buf[10:19]) != "hello rma" {
+				return fmt.Errorf("window = %q", buf[10:19])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMASelfAccess(t *testing.T) {
+	w := testWorld(t, "native", 2, DefaultOptions())
+	err := w.Run(func(r *Rank) error {
+		buf := make([]byte, 64)
+		win := r.WinCreate(buf)
+		defer win.Free()
+		win.Put(r.Rank(), 0, []byte{1, 2, 3})
+		got := make([]byte, 3)
+		win.Get(r.Rank(), 0, got)
+		if !bytes.Equal(got, []byte{1, 2, 3}) {
+			return fmt.Errorf("self rma got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMABoundsChecked(t *testing.T) {
+	w := testWorld(t, "native", 2, DefaultOptions())
+	err := w.Run(func(r *Rank) error {
+		win := r.WinCreate(make([]byte, 32))
+		if r.Rank() == 0 {
+			win.Put(1, 30, []byte{1, 2, 3, 4}) // overflows the window
+		}
+		win.Fence()
+		return nil
+	})
+	if err == nil {
+		t.Fatal("out-of-bounds put not caught")
+	}
+}
+
+func TestRMAChannelSelection(t *testing.T) {
+	// Aware mode on co-resident containers: small puts via SHM, large via
+	// CMA; default mode: everything HCA.
+	run := func(mode core.Mode) [3]uint64 {
+		opts := DefaultOptions()
+		opts.Mode = mode
+		opts.Profile = true
+		w := testWorld(t, "2cont", 2, opts)
+		if err := w.Run(func(r *Rank) error {
+			win := r.WinCreate(make([]byte, 1<<20))
+			defer win.Free()
+			if r.Rank() == 0 {
+				win.Put(1, 0, make([]byte, 16))    // small
+				win.Put(1, 0, make([]byte, 1<<18)) // large
+				win.Flush()
+			}
+			win.Fence()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return w.Prof.TotalChannels().Ops
+	}
+	aware := run(core.ModeLocalityAware)
+	if aware[core.ChannelSHM] == 0 || aware[core.ChannelCMA] == 0 {
+		t.Errorf("aware RMA ops = %v, want SHM and CMA use", aware)
+	}
+	def := run(core.ModeDefault)
+	if def[core.ChannelSHM] != 0 || def[core.ChannelCMA] != 0 || def[core.ChannelHCA] == 0 {
+		t.Errorf("default RMA ops = %v, want HCA only", def)
+	}
+}
+
+func TestPutLatencyAwareVsDefault(t *testing.T) {
+	// The Fig. 9 headline: one-sided ops between co-resident containers are
+	// ~an order of magnitude faster with the locality-aware design.
+	measure := func(mode core.Mode) sim.Time {
+		opts := DefaultOptions()
+		opts.Mode = mode
+		w := testWorld(t, "2cont", 2, opts)
+		var perOp sim.Time
+		if err := w.Run(func(r *Rank) error {
+			win := r.WinCreate(make([]byte, 4096))
+			defer win.Free()
+			win.Fence()
+			if r.Rank() == 0 {
+				const iters = 200
+				data := make([]byte, 4)
+				start := r.Now()
+				for i := 0; i < iters; i++ {
+					win.Put(1, 0, data)
+					win.Flush()
+				}
+				perOp = (r.Now() - start) / iters
+			}
+			win.Fence()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return perOp
+	}
+	def := measure(core.ModeDefault)
+	aware := measure(core.ModeLocalityAware)
+	if aware >= def {
+		t.Fatalf("aware put %v not faster than default %v", aware, def)
+	}
+	if ratio := float64(def) / float64(aware); ratio < 5 {
+		t.Errorf("put speedup %.1fx, paper reports ~9x for small one-sided ops", ratio)
+	}
+}
+
+func TestAccumulate(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeDefault, core.ModeLocalityAware} {
+		w := testWorld(t, "2cont", 4, DefaultOptions())
+		w.Opts.Mode = mode
+		err := w.Run(func(r *Rank) error {
+			// Rank 0 hosts a float64 accumulator; everyone adds its rank+1.
+			buf := EncodeFloat64s([]float64{0})
+			win := r.WinCreate(buf)
+			defer win.Free()
+			win.Fence()
+			// Serialize accumulate epochs with fences (MPI active target).
+			for turn := 0; turn < r.Size(); turn++ {
+				if turn == r.Rank() {
+					win.Accumulate(0, 0, EncodeFloat64s([]float64{float64(r.Rank() + 1)}), SumFloat64)
+				}
+				win.Fence()
+			}
+			if r.Rank() == 0 {
+				if got := DecodeFloat64s(buf)[0]; got != 10 {
+					return fmt.Errorf("accumulated %v, want 10", got)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"cmpi/internal/cluster"
+	"cmpi/internal/core"
+)
+
+// shmRndvWorld builds co-resident containers that share IPC but NOT PID
+// namespaces: the SHM channel works but CMA is impossible, so large
+// messages must take the SHM-staged rendezvous path (RTS/CTS + streamed
+// fragments through the ring).
+func shmRndvWorld(t *testing.T, n int, opts Options) *World {
+	t.Helper()
+	spec := cluster.Spec{Hosts: 1, SocketsPerHost: 2, CoresPerSocket: 12, HCAsPerHost: 1}
+	c := cluster.MustNew(spec)
+	d, err := cluster.Containers(c, 2, n, cluster.ScenarioOpts{
+		Privileged: true, ShareHostIPC: true, ShareHostPID: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestSHMRendezvousWithoutPIDNamespace(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Profile = true
+	w := shmRndvWorld(t, 2, opts)
+	const sz = 1 << 20
+	err := w.Run(func(r *Rank) error {
+		if r.Rank() == 0 {
+			msg := make([]byte, sz)
+			for i := range msg {
+				msg[i] = byte(i * 13)
+			}
+			r.Send(1, 0, msg)
+		} else {
+			buf := make([]byte, sz)
+			r.Recv(0, 0, buf)
+			want := make([]byte, sz)
+			for i := range want {
+				want[i] = byte(i * 13)
+			}
+			if !bytes.Equal(buf, want) {
+				return fmt.Errorf("shm rendezvous corrupted payload")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := w.Prof.TotalChannels().Ops
+	if ops[core.ChannelCMA] != 0 {
+		t.Errorf("CMA used without a shared PID namespace: %v", ops)
+	}
+	if ops[core.ChannelSHM] == 0 {
+		t.Errorf("no SHM traffic: %v", ops)
+	}
+	if ops[core.ChannelHCA] != 0 {
+		t.Errorf("HCA used for a detected-local pair: %v", ops)
+	}
+}
+
+func TestSHMRendezvousDisabledCMA(t *testing.T) {
+	// Same path via the UseCMA=false ablation on paper-config containers.
+	opts := DefaultOptions()
+	opts.Tunables.UseCMA = false
+	w := testWorld(t, "2cont", 2, opts)
+	err := w.Run(func(r *Rank) error {
+		const n = 6
+		peer := 1 - r.Rank()
+		var reqs []*Request
+		bufs := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			bufs[i] = make([]byte, 200*1024)
+			reqs = append(reqs, r.Irecv(peer, i, bufs[i]))
+		}
+		for i := 0; i < n; i++ {
+			out := make([]byte, 200*1024)
+			fill(out, r.Rank(), i)
+			reqs = append(reqs, r.Isend(peer, i, out))
+		}
+		r.WaitAll(reqs...)
+		for i := range bufs {
+			want := make([]byte, 200*1024)
+			fill(want, peer, i)
+			if !bytes.Equal(bufs[i], want) {
+				return fmt.Errorf("message %d corrupted over shm rendezvous", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSHMRendezvousUnexpectedThenMatched(t *testing.T) {
+	// RTS arrives before the receive is posted: the envelope waits in the
+	// unexpected queue and the CTS goes out at match time.
+	opts := DefaultOptions()
+	opts.Tunables.UseCMA = false
+	w := testWorld(t, "2cont", 2, opts)
+	err := w.Run(func(r *Rank) error {
+		const sz = 300 * 1024
+		if r.Rank() == 0 {
+			msg := make([]byte, sz)
+			fill(msg, 0, 9)
+			r.Send(1, 9, msg) // blocks until CTS + streaming complete
+		} else {
+			r.Compute(100000) // let the RTS land unexpected
+			buf := make([]byte, sz)
+			r.Recv(0, 9, buf)
+			want := make([]byte, sz)
+			fill(want, 0, 9)
+			if !bytes.Equal(buf, want) {
+				return fmt.Errorf("late-matched rendezvous corrupted")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommNonblockingOps(t *testing.T) {
+	w := testWorld(t, "2cont", 4, DefaultOptions())
+	err := w.Run(func(r *Rank) error {
+		c := r.CommWorld().Split(0, -r.Rank()) // reversed order
+		peer := c.Size() - 1 - c.Rank()
+		rq := c.Irecv(peer, 1, make([]byte, 8))
+		sq := c.Isend(peer, 1, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+		st := c.Wait(rq)
+		c.Wait(sq)
+		if st.Bytes != 8 {
+			return fmt.Errorf("comm irecv status %+v", st)
+		}
+		// AnySource over the comm.
+		rq2 := c.Irecv(AnySource, 2, make([]byte, 1))
+		c.Wait(c.Isend(peer, 2, []byte{9}))
+		st2 := c.Wait(rq2)
+		if st2.Bytes != 1 {
+			return fmt.Errorf("comm anysource status %+v", st2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceOpsDirect(t *testing.T) {
+	a := EncodeFloat64s([]float64{1, -5, 3})
+	b := EncodeFloat64s([]float64{2, -7, 2})
+	MaxFloat64(a, b)
+	got := DecodeFloat64s(a)
+	if got[0] != 2 || got[1] != -5 || got[2] != 3 {
+		t.Errorf("MaxFloat64 = %v", got)
+	}
+	x := EncodeInt64s([]int64{10, -10})
+	y := EncodeInt64s([]int64{3, -3})
+	MinInt64(x, y)
+	if got := DecodeInt64s(x); got[0] != 3 || got[1] != -10 {
+		t.Errorf("MinInt64 = %v", got)
+	}
+	p := []byte{0b1010}
+	q := []byte{0b0110}
+	BOr(p, q)
+	if p[0] != 0b1110 {
+		t.Errorf("BOr = %b", p[0])
+	}
+}
+
+func TestAllreduceFloat64Scalar(t *testing.T) {
+	w := testWorld(t, "2cont", 4, DefaultOptions())
+	err := w.Run(func(r *Rank) error {
+		if got := r.AllreduceFloat64(0.5, SumFloat64); got != 2.0 {
+			return fmt.Errorf("sum = %v", got)
+		}
+		if got := r.AllreduceFloat64(float64(r.Rank()), MaxFloat64); got != 3 {
+			return fmt.Errorf("max = %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"cmpi/internal/sim"
+)
+
+func TestSsendCompletesOnlyAfterMatch(t *testing.T) {
+	for _, scenario := range []string{"2cont", "2host"} {
+		t.Run(scenario, func(t *testing.T) {
+			w := testWorld(t, scenario, 2, DefaultOptions())
+			var sendDone, recvPosted sim.Time
+			err := w.Run(func(r *Rank) error {
+				if r.Rank() == 0 {
+					msg := make([]byte, 64) // small: eager would complete instantly
+					r.Ssend(1, 0, msg)
+					sendDone = r.Now()
+				} else {
+					r.Compute(100000) // 800us before posting the receive
+					recvPosted = r.Now()
+					r.Recv(0, 0, make([]byte, 64))
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sendDone < recvPosted {
+				t.Errorf("Ssend completed at %v before the receive was posted at %v", sendDone, recvPosted)
+			}
+		})
+	}
+}
+
+func TestSsendDeliversPayload(t *testing.T) {
+	w := testWorld(t, "2cont", 2, DefaultOptions())
+	err := w.Run(func(r *Rank) error {
+		if r.Rank() == 0 {
+			msg := []byte("synchronous hello")
+			r.Ssend(1, 3, msg)
+		} else {
+			buf := make([]byte, 32)
+			st := r.Recv(0, 3, buf)
+			if !bytes.Equal(buf[:st.Bytes], []byte("synchronous hello")) {
+				return fmt.Errorf("ssend payload %q", buf[:st.Bytes])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSsendNoCMAFallsBackToSHMRndv(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Tunables.UseCMA = false
+	w := testWorld(t, "2cont", 2, opts)
+	err := w.Run(func(r *Rank) error {
+		if r.Rank() == 0 {
+			r.Ssend(1, 0, make([]byte, 64))
+		} else {
+			r.Recv(0, 0, make([]byte, 64))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

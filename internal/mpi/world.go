@@ -1,0 +1,258 @@
+package mpi
+
+import (
+	"fmt"
+
+	"cmpi/internal/cluster"
+	"cmpi/internal/ib"
+	"cmpi/internal/profile"
+	"cmpi/internal/shmem"
+	"cmpi/internal/sim"
+)
+
+// World is one MPI job: the deployment it runs on, the substrates it uses,
+// and its ranks. A fresh World is built per job (NewWorld) and driven once
+// (Run).
+type World struct {
+	// Eng is the virtual-time engine all ranks run on.
+	Eng *sim.Engine
+	// Deploy is the rank-to-container mapping.
+	Deploy *cluster.Deployment
+	// Opts is the runtime configuration.
+	Opts Options
+	// Prof holds the mpiP-style profile when Opts.Profile is set.
+	Prof *profile.Profile
+
+	shm    *shmem.Registry
+	fabric *ib.Fabric
+	ranks  []*Rank
+	jobID  string
+
+	// out-of-band PMI barrier state
+	pmiGen     int
+	pmiArrived int
+	pmiLatest  sim.Time
+
+	pairs      map[pairKey]*pairShared
+	nextMsgID  uint64
+	rndv       map[uint64]*rndvState
+	winTable   map[int]*winExchange
+	detLock    map[*cluster.Host]sim.Time // per-host lock free-time (LockedDetector ablation)
+	ctxCounter int                        // last communicator context id handed out
+
+	bodyStart, bodyEnd []sim.Time
+	ran                bool
+}
+
+var jobCounter int
+
+// NewWorld builds a job on the given deployment.
+func NewWorld(d *cluster.Deployment, opts Options) (*World, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	jobCounter++
+	w := &World{
+		Eng:        sim.NewEngine(),
+		Deploy:     d,
+		Opts:       opts,
+		shm:        shmem.NewRegistry(),
+		jobID:      fmt.Sprintf("job%d", jobCounter),
+		pairs:      make(map[pairKey]*pairShared),
+		rndv:       make(map[uint64]*rndvState),
+		winTable:   make(map[int]*winExchange),
+		detLock:    make(map[*cluster.Host]sim.Time),
+		ctxCounter: worldCtx,
+		bodyStart:  make([]sim.Time, d.Size()),
+		bodyEnd:    make([]sim.Time, d.Size()),
+	}
+	w.fabric = ib.NewFabric(w.Eng, &w.Opts.Params, d.Cluster)
+	if opts.Profile {
+		w.Prof = profile.New(d.Size())
+	}
+	for i := 0; i < d.Size(); i++ {
+		w.ranks = append(w.ranks, newRank(w, i))
+	}
+	return w, nil
+}
+
+// Size is the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Run executes body on every rank and drives the simulation to completion.
+// The returned error is the first rank failure, a deadlock report, or nil.
+// A World is single-shot: a second Run returns an error.
+func (w *World) Run(body func(r *Rank) error) error {
+	if w.ran {
+		return fmt.Errorf("mpi: World.Run called twice; build a fresh World per job")
+	}
+	w.ran = true
+	for i := range w.ranks {
+		r := w.ranks[i]
+		w.Eng.Go(fmt.Sprintf("rank%d", r.rank), func(p *sim.Proc) {
+			r.p = p
+			if err := r.init(); err != nil {
+				p.Fatalf("MPI_Init: %v", err)
+			}
+			w.pmiBarrier(r)
+			w.bodyStart[r.rank] = p.Now()
+			if err := body(r); err != nil {
+				p.Fatalf("%v", err)
+			}
+			w.bodyEnd[r.rank] = p.Now()
+			if w.Prof != nil {
+				w.Prof.Ranks[r.rank].AppTime = w.bodyEnd[r.rank] - w.bodyStart[r.rank]
+			}
+			r.finalizeCheck()
+		})
+	}
+	return w.Eng.Run()
+}
+
+// MaxBodyTime is the longest per-rank span between the post-init barrier
+// and body return — the job's wall time as the paper's figures report it.
+func (w *World) MaxBodyTime() sim.Time {
+	var m sim.Time
+	for i := range w.bodyEnd {
+		if d := w.bodyEnd[i] - w.bodyStart[i]; d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// BodyTime reports one rank's span.
+func (w *World) BodyTime(rank int) sim.Time { return w.bodyEnd[rank] - w.bodyStart[rank] }
+
+// pmiBarrier is the out-of-band bootstrap barrier (PMI), used during
+// MPI_Init — notably between publishing membership bytes into the container
+// list and snapshotting it.
+func (w *World) pmiBarrier(r *Rank) {
+	gen := w.pmiGen
+	w.pmiArrived++
+	if t := r.p.Now(); t > w.pmiLatest {
+		w.pmiLatest = t
+	}
+	if w.pmiArrived == len(w.ranks) {
+		release := w.pmiLatest + w.Opts.Params.PMIBarrierLatency
+		w.pmiArrived = 0
+		w.pmiLatest = 0
+		w.pmiGen++
+		for _, other := range w.ranks {
+			if other != r {
+				other.p.UnparkAt(release)
+			}
+		}
+		if release > r.p.Now() {
+			r.p.Advance(release - r.p.Now())
+		}
+		return
+	}
+	for w.pmiGen == gen {
+		r.p.Park()
+	}
+}
+
+// pairKey orders a rank pair.
+type pairKey struct{ lo, hi int }
+
+func keyFor(a, b int) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{lo: a, hi: b}
+}
+
+// pairShared is the per-pair connection state, created lazily by whichever
+// side communicates first.
+type pairShared struct {
+	lo, hi int
+	ring   *shmRing
+	qps    [2]*ib.QP // [0] owned by lo, [1] owned by hi
+}
+
+// pair returns (creating if needed) the shared state for a rank pair.
+func (w *World) pair(a, b int) *pairShared {
+	k := keyFor(a, b)
+	ps, ok := w.pairs[k]
+	if !ok {
+		ps = &pairShared{lo: k.lo, hi: k.hi}
+		w.pairs[k] = ps
+	}
+	return ps
+}
+
+// qpFor returns r's QP to peer, establishing the RC connection on demand
+// (MVAPICH2 on-demand connection management). The setup cost is charged to
+// the initiating rank once per pair.
+func (r *Rank) qpFor(peer int) *ib.QP {
+	ps := r.w.pair(r.rank, peer)
+	idx := 0
+	if r.rank == ps.hi {
+		idx = 1
+	}
+	if ps.qps[idx] == nil {
+		other := r.w.ranks[peer]
+		if r.dev == nil || other.dev == nil {
+			r.p.Fatalf("HCA channel needed for ranks %d<->%d but device unavailable (dev=%v peer=%v)",
+				r.rank, peer, r.devErr, other.devErr)
+		}
+		// Publish the pair BEFORE charging setup time: Advance may yield to
+		// the scheduler, and the peer must not race through the nil check
+		// and build a second connection.
+		qa := r.dev.CreateQP(r.cq, r.cq)
+		qb := other.dev.CreateQP(other.cq, other.cq)
+		qa.EnableAutoRecv()
+		qb.EnableAutoRecv()
+		if err := ib.Connect(qa, qb); err != nil {
+			r.p.Fatalf("connect: %v", err)
+		}
+		if r.rank == ps.lo {
+			ps.qps[0], ps.qps[1] = qa, qb
+		} else {
+			ps.qps[1], ps.qps[0] = qa, qb
+		}
+		r.p.Advance(r.w.Opts.Params.IBConnectSetup)
+	}
+	return ps.qps[idx]
+}
+
+// ringFor returns r's view of the shared-memory ring to peer, creating and
+// attaching it on demand. It must only be called for pairs with a shared
+// IPC namespace; segment attachment failure is a runtime bug by then.
+func (r *Rank) ringFor(peer int) *shmRing {
+	ps := r.w.pair(r.rank, peer)
+	if ps.ring == nil {
+		name := fmt.Sprintf("cmpi.ring.%s.%d-%d", r.w.jobID, ps.lo, ps.hi)
+		// Two directions, each with a full SMPI_LENGTH_QUEUE of capacity.
+		seg, err := r.w.shm.CreateOrAttach(r.env, name, 2*r.w.Opts.Tunables.SMPLengthQueue)
+		if err != nil {
+			r.p.Fatalf("shm ring %d<->%d: %v", ps.lo, ps.hi, err)
+		}
+		// Publish the ring BEFORE charging attach time: Advance may yield,
+		// and the peer must not race the nil check into a second ring.
+		ps.ring = newShmRing(r.w, ps, seg)
+		r.w.ranks[ps.lo].localPairs = append(r.w.ranks[ps.lo].localPairs, ps)
+		r.w.ranks[ps.hi].localPairs = append(r.w.ranks[ps.hi].localPairs, ps)
+		r.p.Advance(r.w.Opts.Params.ShmAttachOverhead)
+	}
+	return ps.ring
+}
+
+// newMsgID mints a job-unique rendezvous identifier.
+func (w *World) newMsgID() uint64 {
+	w.nextMsgID++
+	return w.nextMsgID
+}
+
+// rndvState tracks one in-flight HCA rendezvous transfer. The paper's
+// runtime exchanges buffer addresses and rkeys inside RTS/CTS packets; the
+// simulation exchanges a msgID and keeps the decoded state here.
+type rndvState struct {
+	sreq *Request
+	rreq *Request
+	mr   *ib.MR // receiver's registered landing buffer
+}

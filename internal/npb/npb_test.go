@@ -1,0 +1,133 @@
+package npb
+
+import (
+	"testing"
+
+	"cmpi/internal/cluster"
+	"cmpi/internal/core"
+	"cmpi/internal/mpi"
+	"cmpi/internal/sim"
+)
+
+func npbWorld(t *testing.T, hosts, containersPerHost, procs int, mode core.Mode) *mpi.World {
+	t.Helper()
+	spec := cluster.Spec{Hosts: hosts, SocketsPerHost: 2, CoresPerSocket: 12, HCAsPerHost: 1}
+	c := cluster.MustNew(spec)
+	var d *cluster.Deployment
+	var err error
+	if containersPerHost == 0 {
+		d, err = cluster.Native(c, procs)
+	} else {
+		d, err = cluster.Containers(c, containersPerHost, procs, cluster.PaperScenarioOpts())
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := mpi.DefaultOptions()
+	opts.Mode = mode
+	w, err := mpi.NewWorld(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestAllKernelsVerifyClassS(t *testing.T) {
+	for name, kernel := range Kernels() {
+		t.Run(name, func(t *testing.T) {
+			w := npbWorld(t, 1, 2, 8, core.ModeLocalityAware)
+			res, err := kernel(w, ClassS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Verified {
+				t.Fatalf("%s.S failed verification: %+v", name, res)
+			}
+			if res.Time <= 0 {
+				t.Fatalf("%s.S reported no time", name)
+			}
+		})
+	}
+}
+
+func TestKernelsVerifyAcrossModesAndScenarios(t *testing.T) {
+	for name, kernel := range Kernels() {
+		for _, mode := range []core.Mode{core.ModeDefault, core.ModeLocalityAware} {
+			for _, nc := range []int{0, 4} {
+				w := npbWorld(t, 1, nc, 8, mode)
+				res, err := kernel(w, ClassS)
+				if err != nil {
+					t.Fatalf("%s mode=%v nc=%d: %v", name, mode, nc, err)
+				}
+				if !res.Verified {
+					t.Fatalf("%s mode=%v nc=%d: not verified", name, mode, nc)
+				}
+			}
+		}
+	}
+}
+
+func TestKernelsRankCountInvariantResults(t *testing.T) {
+	// Verification encodes result correctness; it must hold for different
+	// rank counts (rank-count-independent problem generation).
+	for name, kernel := range Kernels() {
+		for _, procs := range []int{2, 4, 16} {
+			w := npbWorld(t, 1, 2, procs, core.ModeLocalityAware)
+			res, err := kernel(w, ClassS)
+			if err != nil {
+				t.Fatalf("%s procs=%d: %v", name, procs, err)
+			}
+			if !res.Verified {
+				t.Fatalf("%s procs=%d: not verified", name, procs)
+			}
+		}
+	}
+}
+
+func TestCGBenefitsFromLocalityAwareness(t *testing.T) {
+	// The paper's Fig. 12: CG improves up to 11% with the aware design on
+	// multi-container hosts. Check the direction and a nontrivial margin.
+	measure := func(mode core.Mode) sim.Time {
+		w := npbWorld(t, 2, 4, 16, mode)
+		res, err := RunCG(w, ClassS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Verified {
+			t.Fatal("CG not verified")
+		}
+		return res.Time
+	}
+	def := measure(core.ModeDefault)
+	aware := measure(core.ModeLocalityAware)
+	if aware >= def {
+		t.Errorf("aware CG (%v) not faster than default (%v)", aware, def)
+	}
+}
+
+func TestUnknownClassRejected(t *testing.T) {
+	w := npbWorld(t, 1, 1, 2, core.ModeLocalityAware)
+	if _, err := RunEP(w, Class('Z')); err == nil {
+		t.Error("EP accepted class Z")
+	}
+	w2 := npbWorld(t, 1, 1, 2, core.ModeLocalityAware)
+	if _, err := RunCG(w2, Class('Z')); err == nil {
+		t.Error("CG accepted class Z")
+	}
+}
+
+func TestFTRejectsIndivisibleGrid(t *testing.T) {
+	// 128-edge grid over 12 ranks does not divide: must error, not corrupt.
+	w := npbWorld(t, 1, 2, 12, core.ModeLocalityAware)
+	if _, err := RunFT(w, ClassS); err == nil {
+		t.Error("FT accepted indivisible decomposition")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Kernel: "CG", Class: ClassS, Time: 5 * sim.Millisecond, Verified: true, Metric: 12.5}
+	s := r.String()
+	if s == "" || r.Kernel != "CG" {
+		t.Fatalf("bad string %q", s)
+	}
+}

@@ -1,0 +1,223 @@
+// Package perf holds the calibrated analytic cost model that converts
+// simulated communication and computation into virtual time.
+//
+// The parameters are calibrated against the numbers quoted in the paper
+// (Zhang, Lu, Panda — ICPP 2016) for the Chameleon Cloud testbed: 2-socket
+// 12-core Xeon E5-2670 v3 hosts with Mellanox ConnectX-3 FDR (56 Gb/s) HCAs.
+// Headline calibration anchors:
+//
+//   - native intra-socket SHM small-message latency ≈ 0.44 µs at 1 KiB,
+//   - default (HCA-loopback) intra-host latency ≈ 2.26 µs at 1 KiB,
+//   - CMA beats SHM above the 8 KiB eager threshold,
+//   - HCA eager/rendezvous optimum near a 17 KiB threshold,
+//   - FDR wire bandwidth ≈ 6 GB/s effective.
+//
+// Absolute values are model outputs, not testbed measurements; the
+// reproduction targets the paper's *shapes* (who wins, where crossovers
+// fall), per DESIGN.md §2.
+package perf
+
+import "cmpi/internal/sim"
+
+// Params is the full set of model constants. The zero value is not useful;
+// start from Default() and override fields for sensitivity studies.
+type Params struct {
+	// --- Memory copies (shared-memory channel, bounce buffers) ---
+
+	// CopyBWIntraSocket is memcpy bandwidth in bytes/sec when source and
+	// destination cores share a socket.
+	CopyBWIntraSocket float64
+	// CopyBWInterSocket is memcpy bandwidth across the QPI/UPI link.
+	CopyBWInterSocket float64
+	// CopyOverhead is the fixed per-copy-operation cost (function call,
+	// cache-line state transitions on the control words).
+	CopyOverhead sim.Time
+
+	// --- SHM channel (eager protocol over a shared ring buffer) ---
+
+	// ShmPostOverhead is the sender-side per-packet cost of claiming a ring
+	// cell and publishing it.
+	ShmPostOverhead sim.Time
+	// ShmPollOverhead is the receiver-side per-packet cost of discovering
+	// and consuming a published cell.
+	ShmPollOverhead sim.Time
+	// ShmCellPayload is the usable payload per ring cell in bytes; eager
+	// messages are fragmented into cells, which is what lets the ring
+	// pipeline (and what SMPI_LENGTH_QUEUE throttles).
+	ShmCellPayload int
+
+	// --- CMA channel (process_vm_readv/writev, single copy) ---
+
+	// CMASyscallOverhead is the fixed kernel entry/exit plus page-pinning
+	// setup cost per process_vm_* call. This is why CMA loses to SHM for
+	// small messages (Sec. III of the paper).
+	CMASyscallOverhead sim.Time
+	// CMABWIntraSocket is the single-copy bandwidth within a socket.
+	CMABWIntraSocket float64
+	// CMABWInterSocket is the single-copy bandwidth across sockets.
+	CMABWInterSocket float64
+
+	// --- HCA channel (InfiniBand verbs) ---
+
+	// IBPostOverhead is the CPU cost to build a WQE and ring the doorbell.
+	IBPostOverhead sim.Time
+	// IBPollOverhead is the CPU cost of a successful CQ poll.
+	IBPollOverhead sim.Time
+	// IBWireLatencyInter is the one-way small-message wire latency between
+	// two hosts through the switch (propagation + switch + HCA DMA setup).
+	IBWireLatencyInter sim.Time
+	// IBWireLatencyLoop is the one-way latency for the intra-host loopback
+	// path (PCIe round trip through the HCA, no switch). Combined with
+	// IBLoopPerOp it makes the loopback hop an order of magnitude slower
+	// than a shared-memory hop, which is the root of the paper's
+	// bottleneck.
+	IBWireLatencyLoop sim.Time
+	// IBLoopPerOp is the HCA processing time per loopback operation: the
+	// PCIe round trip bounds loopback message rate far below the wire
+	// message rate. It occupies the loopback DMA engine, so back-to-back
+	// small operations serialize at this granularity.
+	IBLoopPerOp sim.Time
+	// IBWirePerOp is the per-operation processing time on the wire path
+	// (ConnectX-3-class message rate).
+	IBWirePerOp sim.Time
+	// IBBWInter is effective wire bandwidth host-to-host (bytes/sec).
+	IBBWInter float64
+	// IBBWLoop is effective loopback bandwidth (PCIe-bound, below wire BW).
+	IBBWLoop float64
+	// IBRegOverhead is the cost to register (pin) a rendezvous buffer.
+	IBRegOverhead sim.Time
+	// IBRegPerPage is the additional registration cost per 4 KiB page.
+	IBRegPerPage sim.Time
+	// IBEagerRecvCopyBW is the bandwidth of the receiver-side copy out of a
+	// pre-posted eager bounce buffer into the user buffer.
+	IBEagerRecvCopyBW float64
+	// IBConnectSetup is the one-time cost of bringing up an RC queue pair
+	// on demand (MVAPICH2's on-demand connection management).
+	IBConnectSetup sim.Time
+
+	// --- Bootstrap / job services ---
+
+	// PMIBarrierLatency is the cost of one out-of-band bootstrap barrier
+	// (used once during locality detection at MPI_Init time).
+	PMIBarrierLatency sim.Time
+	// ShmAttachOverhead is the cost to create-or-attach a shared segment.
+	ShmAttachOverhead sim.Time
+	// ContainerPacketOverhead is the small extra cost per shared-memory or
+	// CMA operation when the endpoint runs inside a container rather than
+	// natively (longer kernel paths through cgroup/namespace accounting).
+	// It produces the paper's "minor overhead vs native" (~7% at 1 KiB).
+	ContainerPacketOverhead sim.Time
+
+	// --- Computation ---
+
+	// ComputePerUnit converts one abstract workload work unit (one traversed
+	// edge, one FLOP-bundle) into virtual time.
+	ComputePerUnit sim.Time
+}
+
+// Default returns the calibrated model for the paper's testbed.
+func Default() Params {
+	return Params{
+		CopyBWIntraSocket: 11.0e9,
+		CopyBWInterSocket: 6.2e9,
+		CopyOverhead:      50 * sim.Nanosecond,
+
+		ShmPostOverhead: 80 * sim.Nanosecond,
+		ShmPollOverhead: 60 * sim.Nanosecond,
+		ShmCellPayload:  8192,
+
+		CMASyscallOverhead: 520 * sim.Nanosecond,
+		CMABWIntraSocket:   13.0e9,
+		CMABWInterSocket:   7.0e9,
+
+		IBPostOverhead:     150 * sim.Nanosecond,
+		IBPollOverhead:     100 * sim.Nanosecond,
+		IBWireLatencyInter: 1300 * sim.Nanosecond,
+		IBWireLatencyLoop:  600 * sim.Nanosecond,
+		IBLoopPerOp:        1200 * sim.Nanosecond,
+		IBWirePerOp:        150 * sim.Nanosecond,
+		IBBWInter:          6.0e9,
+		IBBWLoop:           4.5e9,
+		IBRegOverhead:      450 * sim.Nanosecond,
+		IBRegPerPage:       12 * sim.Nanosecond,
+		IBEagerRecvCopyBW:  11.0e9,
+		IBConnectSetup:     30 * sim.Microsecond,
+
+		PMIBarrierLatency:       25 * sim.Microsecond,
+		ShmAttachOverhead:       2 * sim.Microsecond,
+		ContainerPacketOverhead: 20 * sim.Nanosecond,
+
+		ComputePerUnit: 8 * sim.Nanosecond,
+	}
+}
+
+// bwTime returns the serialization time for n bytes at bw bytes/sec.
+func bwTime(n int, bw float64) sim.Time {
+	if n <= 0 || bw <= 0 {
+		return 0
+	}
+	return sim.FromSeconds(float64(n) / bw)
+}
+
+// MemCopy is the cost of one memcpy of n bytes, depending on whether the
+// two endpoints' cores share a socket.
+func (p *Params) MemCopy(n int, crossSocket bool) sim.Time {
+	bw := p.CopyBWIntraSocket
+	if crossSocket {
+		bw = p.CopyBWInterSocket
+	}
+	return p.CopyOverhead + bwTime(n, bw)
+}
+
+// CMACopy is the cost of one process_vm_readv/writev call moving n bytes.
+func (p *Params) CMACopy(n int, crossSocket bool) sim.Time {
+	bw := p.CMABWIntraSocket
+	if crossSocket {
+		bw = p.CMABWInterSocket
+	}
+	return p.CMASyscallOverhead + bwTime(n, bw)
+}
+
+// IBSerialize is the wire/loopback serialization time for n bytes.
+func (p *Params) IBSerialize(n int, loopback bool) sim.Time {
+	bw := p.IBBWInter
+	if loopback {
+		bw = p.IBBWLoop
+	}
+	return bwTime(n, bw)
+}
+
+// IBOpOccupancy is the time one n-byte operation holds the path's DMA
+// resource: serialization plus the per-operation processing cost.
+func (p *Params) IBOpOccupancy(n int, loopback bool) sim.Time {
+	perOp := p.IBWirePerOp
+	if loopback {
+		perOp = p.IBLoopPerOp
+	}
+	return p.IBSerialize(n, loopback) + perOp
+}
+
+// IBWireLatency is the one-way base latency of the chosen path.
+func (p *Params) IBWireLatency(loopback bool) sim.Time {
+	if loopback {
+		return p.IBWireLatencyLoop
+	}
+	return p.IBWireLatencyInter
+}
+
+// IBRegister is the cost of pinning an n-byte buffer for RDMA.
+func (p *Params) IBRegister(n int) sim.Time {
+	pages := sim.Time((n + 4095) / 4096)
+	return p.IBRegOverhead + pages*p.IBRegPerPage
+}
+
+// EagerRecvCopy is the receiver-side cost of draining an n-byte eager
+// message out of the pre-posted bounce buffer.
+func (p *Params) EagerRecvCopy(n int) sim.Time {
+	return p.CopyOverhead + bwTime(n, p.IBEagerRecvCopyBW)
+}
+
+// Compute converts abstract work units into virtual time.
+func (p *Params) Compute(units float64) sim.Time {
+	return sim.FromSeconds(units * float64(p.ComputePerUnit) / float64(sim.Second))
+}

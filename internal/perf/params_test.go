@@ -1,0 +1,139 @@
+package perf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cmpi/internal/sim"
+)
+
+func TestDefaultCalibrationAnchors(t *testing.T) {
+	p := Default()
+
+	// Anchor 1: a 1 KiB double-copy SHM path must land near the paper's
+	// 0.44us native latency (post + copy-in + poll + copy-out).
+	shm1k := p.ShmPostOverhead + p.MemCopy(1024, false) + p.ShmPollOverhead + p.MemCopy(1024, false)
+	if shm1k < 350*sim.Nanosecond || shm1k > 550*sim.Nanosecond {
+		t.Errorf("1KiB SHM path = %v, want ~0.44us (350-550ns)", shm1k)
+	}
+
+	// Anchor 2: the HCA loopback path for 1 KiB must land near the paper's
+	// 2.26us default latency.
+	hca1k := p.IBPostOverhead + p.IBWireLatency(true) + p.IBOpOccupancy(1024, true) +
+		p.IBPollOverhead + p.EagerRecvCopy(1024)
+	if hca1k < 1900*sim.Nanosecond || hca1k > 2700*sim.Nanosecond {
+		t.Errorf("1KiB HCA loopback path = %v, want ~2.26us", hca1k)
+	}
+
+	// Anchor 2b: loopback per-op cost dominates small one-sided ops — the
+	// paper's ~9x one-sided gap needs a loopback op to cost ~10x a small
+	// shared-memory op.
+	shmOp := p.ShmPostOverhead + p.MemCopy(4, false)
+	if ratio := float64(p.IBLoopPerOp) / float64(shmOp); ratio < 6 || ratio > 16 {
+		t.Errorf("loopback/shm per-op ratio = %.1f, want 6-16", ratio)
+	}
+
+	// Anchor 3: CMA must lose to SHM at 1 KiB but win at 64 KiB
+	// (the paper's 8 KiB crossover, with slack for the handshake).
+	cmaSmall := p.CMACopy(1024, false)
+	shmSmall := 2 * p.MemCopy(1024, false)
+	if cmaSmall <= shmSmall {
+		t.Errorf("CMA 1KiB (%v) should be slower than SHM double copy (%v)", cmaSmall, shmSmall)
+	}
+	cmaBig := p.CMACopy(1<<16, false)
+	shmBig := 2 * p.MemCopy(1<<16, false)
+	if cmaBig >= shmBig {
+		t.Errorf("CMA 64KiB (%v) should be faster than SHM double copy (%v)", cmaBig, shmBig)
+	}
+
+	// Anchor 4: the loopback path must be slower than inter-host wire for
+	// small operations and in bandwidth (PCIe-bound path).
+	loopSmall := p.IBWireLatency(true) + p.IBOpOccupancy(1, true)
+	wireSmall := p.IBWireLatency(false) + p.IBOpOccupancy(1, false)
+	if loopSmall <= wireSmall {
+		t.Errorf("loopback small-op path %v should exceed wire path %v", loopSmall, wireSmall)
+	}
+	if p.IBBWLoop >= p.IBBWInter {
+		t.Error("loopback bandwidth should be below wire bandwidth")
+	}
+}
+
+func TestMemCopyMonotoneProperty(t *testing.T) {
+	p := Default()
+	f := func(a, b uint16) bool {
+		n, m := int(a), int(b)
+		if n > m {
+			n, m = m, n
+		}
+		return p.MemCopy(n, false) <= p.MemCopy(m, false) &&
+			p.MemCopy(n, true) <= p.MemCopy(m, true) &&
+			p.MemCopy(n, false) <= p.MemCopy(n, true)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCMACopyCrossSocketSlower(t *testing.T) {
+	p := Default()
+	f := func(n uint16) bool {
+		return p.CMACopy(int(n), false) <= p.CMACopy(int(n), true)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroAndNegativeSizes(t *testing.T) {
+	p := Default()
+	if got := p.MemCopy(0, false); got != p.CopyOverhead {
+		t.Errorf("MemCopy(0) = %v, want bare overhead %v", got, p.CopyOverhead)
+	}
+	if got := p.IBSerialize(0, false); got != 0 {
+		t.Errorf("IBSerialize(0) = %v, want 0", got)
+	}
+	if got := p.IBSerialize(-5, true); got != 0 {
+		t.Errorf("IBSerialize(-5) = %v, want 0", got)
+	}
+}
+
+func TestIBRegisterScalesWithPages(t *testing.T) {
+	p := Default()
+	one := p.IBRegister(100)         // 1 page
+	big := p.IBRegister(1024 * 1024) // 256 pages
+	if big <= one {
+		t.Errorf("IBRegister(1MiB)=%v should exceed IBRegister(100B)=%v", big, one)
+	}
+	if got, want := big-one, 255*p.IBRegPerPage; got != want {
+		t.Errorf("per-page delta = %v, want %v", got, want)
+	}
+}
+
+func TestComputeLinear(t *testing.T) {
+	p := Default()
+	if got := p.Compute(1); got != p.ComputePerUnit {
+		t.Errorf("Compute(1) = %v, want %v", got, p.ComputePerUnit)
+	}
+	if got := p.Compute(1e6); got != sim.Time(1e6)*p.ComputePerUnit {
+		t.Errorf("Compute(1e6) = %v, want %v", got, sim.Time(1e6)*p.ComputePerUnit)
+	}
+}
+
+func TestIBEagerVsRendezvousCrossoverNear17K(t *testing.T) {
+	// The paper tunes MV2_IBA_EAGER_THRESHOLD to 17K for containers. Our
+	// model must put the eager-extra-copy vs rendezvous-handshake breakeven
+	// in the 8K-32K band so the Fig. 7(c) sweep has an interior optimum.
+	p := Default()
+	breakeven := -1
+	for n := 1024; n <= 1<<20; n += 1024 {
+		eagerExtra := p.MemCopy(n, false) + p.EagerRecvCopy(n) // bounce in + bounce out
+		rndvExtra := 2*(p.IBPostOverhead+p.IBWirePerOp+p.IBWireLatency(false)+p.IBPollOverhead) + p.IBRegister(n)
+		if eagerExtra > rndvExtra {
+			breakeven = n
+			break
+		}
+	}
+	if breakeven < 8*1024 || breakeven > 32*1024 {
+		t.Errorf("eager/rendezvous breakeven at %d bytes, want within [8K,32K]", breakeven)
+	}
+}

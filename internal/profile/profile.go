@@ -1,0 +1,158 @@
+// Package profile is an mpiP-style profiler for the simulated MPI runtime:
+// per-rank time spent inside MPI calls (by call name) versus computation,
+// plus per-channel message-transfer-operation and byte counts. It feeds the
+// paper's Fig. 3(a) breakdown and Table I channel statistics.
+package profile
+
+import (
+	"sort"
+
+	"cmpi/internal/core"
+	"cmpi/internal/sim"
+)
+
+// ChannelStats counts transfer operations and bytes per channel, in the
+// sense of the paper's Table I: one SHM ring-cell push, one process_vm_*
+// call, or one HCA work-request post is one operation.
+type ChannelStats struct {
+	Ops   [3]uint64 // indexed by core.Channel
+	Bytes [3]uint64
+}
+
+// Add records one transfer operation of n bytes on channel ch.
+func (c *ChannelStats) Add(ch core.Channel, n int) {
+	c.Ops[ch]++
+	c.Bytes[ch] += uint64(n)
+}
+
+// Merge accumulates other into c.
+func (c *ChannelStats) Merge(other *ChannelStats) {
+	for i := range c.Ops {
+		c.Ops[i] += other.Ops[i]
+		c.Bytes[i] += other.Bytes[i]
+	}
+}
+
+// RankProfile is one rank's profile.
+type RankProfile struct {
+	// Rank is the global rank.
+	Rank int
+	// MPITime accumulates time per MPI call name ("Isend", "Allreduce", ...).
+	MPITime map[string]sim.Time
+	// TotalMPI is the total top-level MPI time.
+	TotalMPI sim.Time
+	// AppTime is the rank's measured span (set by the runtime between the
+	// post-init and pre-finalize barriers); compute time = AppTime - TotalMPI.
+	AppTime sim.Time
+	// Channels counts transfer ops/bytes initiated by this rank.
+	Channels ChannelStats
+
+	depth     int
+	enteredAt sim.Time
+}
+
+// NewRankProfile returns an empty per-rank profile.
+func NewRankProfile(rank int) *RankProfile {
+	return &RankProfile{Rank: rank, MPITime: make(map[string]sim.Time)}
+}
+
+// Enter marks entry into a (possibly nested) MPI call at time t. Only the
+// outermost call accumulates, like mpiP's call-site attribution.
+func (rp *RankProfile) Enter(t sim.Time) bool {
+	rp.depth++
+	if rp.depth == 1 {
+		rp.enteredAt = t
+		return true
+	}
+	return false
+}
+
+// Exit marks exit from an MPI call named call at time t.
+func (rp *RankProfile) Exit(call string, t sim.Time) {
+	rp.depth--
+	if rp.depth == 0 {
+		d := t - rp.enteredAt
+		rp.MPITime[call] += d
+		rp.TotalMPI += d
+	}
+}
+
+// ComputeTime is the non-MPI portion of the rank's span.
+func (rp *RankProfile) ComputeTime() sim.Time {
+	c := rp.AppTime - rp.TotalMPI
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// Profile aggregates all ranks of one job.
+type Profile struct {
+	Ranks []*RankProfile
+}
+
+// New builds a profile for size ranks.
+func New(size int) *Profile {
+	p := &Profile{Ranks: make([]*RankProfile, size)}
+	for i := range p.Ranks {
+		p.Ranks[i] = NewRankProfile(i)
+	}
+	return p
+}
+
+// TotalChannels sums channel stats over all ranks (the Table I view).
+func (p *Profile) TotalChannels() ChannelStats {
+	var total ChannelStats
+	for _, rp := range p.Ranks {
+		total.Merge(&rp.Channels)
+	}
+	return total
+}
+
+// CommFraction is the job-mean fraction of app time spent in MPI calls
+// (the Fig. 3(a) communication share).
+func (p *Profile) CommFraction() float64 {
+	var mpi, app sim.Time
+	for _, rp := range p.Ranks {
+		mpi += rp.TotalMPI
+		app += rp.AppTime
+	}
+	if app == 0 {
+		return 0
+	}
+	return float64(mpi) / float64(app)
+}
+
+// MeanComputeTime is the mean per-rank compute time — the paper observes it
+// stays ~constant (≈17 ms) across container scenarios.
+func (p *Profile) MeanComputeTime() sim.Time {
+	if len(p.Ranks) == 0 {
+		return 0
+	}
+	var sum sim.Time
+	for _, rp := range p.Ranks {
+		sum += rp.ComputeTime()
+	}
+	return sum / sim.Time(len(p.Ranks))
+}
+
+// TopCalls returns call names ordered by aggregate time, descending.
+func (p *Profile) TopCalls() []string {
+	agg := map[string]sim.Time{}
+	for _, rp := range p.Ranks {
+		for call, d := range rp.MPITime {
+			agg[call] += d
+		}
+	}
+	names := make([]string, 0, len(agg))
+	for n := range agg {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if agg[names[i]] != agg[names[j]] {
+			return agg[names[i]] > agg[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}

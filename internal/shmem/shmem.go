@@ -1,0 +1,95 @@
+// Package shmem models POSIX/SysV shared memory: named byte segments that
+// live inside an IPC namespace. Processes can only attach segments created
+// in their own IPC namespace — which is exactly the kernel behaviour that
+// (a) breaks the default SHM channel across isolated containers, and
+// (b) enables the paper's /dev/shm/locality container list once containers
+// share the host's IPC namespace.
+package shmem
+
+import (
+	"fmt"
+
+	"cmpi/internal/cluster"
+)
+
+// Segment is one shared-memory object. Data is the real backing store: all
+// simulated ranks attached to the segment read and write the same bytes.
+type Segment struct {
+	// Name is the segment's key within its namespace (e.g. "locality").
+	Name string
+	// NS is the owning IPC namespace.
+	NS *cluster.Namespace
+	// Data is the segment contents.
+	Data []byte
+}
+
+type segKey struct {
+	ns   *cluster.Namespace
+	name string
+}
+
+// Registry is the kernel-side table of shared segments, one per simulation.
+type Registry struct {
+	segs map[segKey]*Segment
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{segs: make(map[segKey]*Segment)}
+}
+
+// ErrWrongNamespaceKind is returned when attaching via a non-IPC namespace.
+var ErrWrongNamespaceKind = fmt.Errorf("shmem: namespace is not an IPC namespace")
+
+// CreateOrAttach opens the named segment in env's IPC namespace, creating
+// it with the given size on first open. Later opens must request a size no
+// larger than the existing segment. Two environments observe the same
+// segment if and only if they share an IPC namespace.
+func (r *Registry) CreateOrAttach(env *cluster.Container, name string, size int) (*Segment, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("shmem: segment %q: size %d", name, size)
+	}
+	ns := env.Namespace(cluster.IPC)
+	if ns.Kind != cluster.IPC {
+		return nil, ErrWrongNamespaceKind
+	}
+	key := segKey{ns: ns, name: name}
+	if seg, ok := r.segs[key]; ok {
+		if size > len(seg.Data) {
+			return nil, fmt.Errorf("shmem: segment %q exists with size %d, attach wants %d",
+				name, len(seg.Data), size)
+		}
+		return seg, nil
+	}
+	seg := &Segment{Name: name, NS: ns, Data: make([]byte, size)}
+	r.segs[key] = seg
+	return seg, nil
+}
+
+// Attach opens an existing segment and fails if it does not exist in env's
+// IPC namespace (there is no cross-namespace discovery, as in the kernel).
+func (r *Registry) Attach(env *cluster.Container, name string) (*Segment, error) {
+	ns := env.Namespace(cluster.IPC)
+	seg, ok := r.segs[segKey{ns: ns, name: name}]
+	if !ok {
+		return nil, fmt.Errorf("shmem: no segment %q in IPC namespace %s/%d of %s",
+			name, ns.Host.Name, ns.ID, env)
+	}
+	return seg, nil
+}
+
+// Unlink removes the named segment from env's namespace. Existing attaches
+// keep their reference (like shm_unlink semantics).
+func (r *Registry) Unlink(env *cluster.Container, name string) error {
+	ns := env.Namespace(cluster.IPC)
+	key := segKey{ns: ns, name: name}
+	if _, ok := r.segs[key]; !ok {
+		return fmt.Errorf("shmem: unlink %q: no such segment", name)
+	}
+	delete(r.segs, key)
+	return nil
+}
+
+// Count reports how many live segments the registry holds (for tests and
+// leak checks).
+func (r *Registry) Count() int { return len(r.segs) }

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strings"
+)
+
+// Engine is a sequential discrete-event scheduler. Simulated processes are
+// goroutines, but the engine resumes at most one at a time, always the one
+// with the earliest pending virtual time, so execution order — and therefore
+// every simulated result — is fully deterministic and data-race-free.
+//
+// Typical use:
+//
+//	e := sim.NewEngine()
+//	e.Go("rank0", func(p *sim.Proc) { ... })
+//	e.Go("rank1", func(p *sim.Proc) { ... })
+//	if err := e.Run(); err != nil { ... }
+type Engine struct {
+	pq      eventHeap
+	seq     uint64
+	now     Time
+	procs   []*Proc
+	stopped bool
+	failure error
+	stats   Stats
+}
+
+// Stats counts scheduler activity, for capacity planning and engine
+// benchmarks.
+type Stats struct {
+	// Dispatched is the number of events popped and handled.
+	Dispatched uint64
+	// Callbacks is the subset that were scheduler callbacks (At).
+	Callbacks uint64
+	// Resumes is the subset that handed control to a process.
+	Resumes uint64
+	// StaleWakes is the subset dropped as stale process wakes.
+	StaleWakes uint64
+}
+
+// Stats returns a snapshot of scheduler counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// NewEngine returns an empty engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the engine's current virtual time (the time of the most
+// recently dispatched event).
+func (e *Engine) Now() Time { return e.now }
+
+// Procs returns the processes spawned so far, in spawn order.
+func (e *Engine) Procs() []*Proc { return e.procs }
+
+// At schedules fn to run in scheduler context at virtual time t. Scheduling
+// in the past is clamped to the current time (the event still runs after
+// every event already pending at that time, preserving causality).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.pq.push(event{t: t, seq: e.seq, fn: fn})
+}
+
+// Go spawns a simulated process that starts at the current virtual time.
+// The process body runs on its own goroutine but executes only while the
+// engine has handed it control, so process code never races with other
+// processes or with scheduler callbacks.
+func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		id:     len(e.procs),
+		name:   name,
+		now:    e.now,
+		state:  stateScheduled,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if abort, ok := r.(engineAbort); ok {
+					p.panicked = abort.err
+				} else {
+					p.panicked = fmt.Errorf("proc %q panicked: %v\n%s", p.name, r, debug.Stack())
+				}
+			}
+			p.state = stateDone
+			p.yield <- struct{}{}
+		}()
+		body(p)
+	}()
+	e.seq++
+	p.timerSeq = e.seq
+	e.pq.push(event{t: e.now, seq: e.seq, proc: p, timer: true})
+	return p
+}
+
+// engineAbort is panicked by Proc.Fatalf to unwind a process body; the
+// spawn wrapper converts it into a recorded failure without a stack dump.
+type engineAbort struct{ err error }
+
+// Stop aborts the run after the current event completes. Pending events are
+// discarded; Run returns nil unless a failure was already recorded.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Fail aborts the run and makes Run return err (the first failure wins).
+func (e *Engine) Fail(err error) {
+	if e.failure == nil {
+		e.failure = err
+	}
+	e.stopped = true
+}
+
+// DeadlockError reports that the event queue drained while simulated
+// processes were still blocked.
+type DeadlockError struct {
+	// Parked lists the blocked processes (name, state and local time).
+	Parked []string
+	// At is the virtual time at which the simulation stalled.
+	At Time
+}
+
+// Error formats the deadlock report.
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("simulation deadlock at %v: %d process(es) still blocked: %s",
+		d.At, len(d.Parked), strings.Join(d.Parked, ", "))
+}
+
+// Run dispatches events in virtual-time order until the queue drains, a
+// process panics, or Stop/Fail is called. It returns a *DeadlockError if
+// processes remain blocked when the queue empties, the recorded error on
+// Fail or process panic, and nil otherwise.
+func (e *Engine) Run() error {
+	for !e.stopped && e.pq.len() > 0 {
+		ev := e.pq.pop()
+		e.now = ev.t
+		e.stats.Dispatched++
+		if ev.fn != nil {
+			e.stats.Callbacks++
+			ev.fn()
+			continue
+		}
+		p := ev.proc
+		if p == nil || !p.wantsWake(ev) {
+			e.stats.StaleWakes++
+			continue // stale wake: the condition it signalled was already consumed
+		}
+		e.stats.Resumes++
+		if p.now < ev.t {
+			p.now = ev.t
+		}
+		p.state = stateRunning
+		p.resume <- struct{}{}
+		<-p.yield
+		if p.panicked != nil {
+			e.Fail(p.panicked)
+		}
+	}
+	if e.failure != nil {
+		return e.failure
+	}
+	var parked []string
+	for _, p := range e.procs {
+		if p.state != stateDone {
+			parked = append(parked, fmt.Sprintf("%s(%s,t=%v)", p.name, p.state, p.now))
+		}
+	}
+	if len(parked) > 0 && !e.stopped {
+		sort.Strings(parked)
+		return &DeadlockError{Parked: parked, At: e.now}
+	}
+	return nil
+}

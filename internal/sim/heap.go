@@ -1,0 +1,74 @@
+package sim
+
+// event is one entry in the engine's pending-event queue. Exactly one of
+// fn / proc is used: fn events run a callback in scheduler context, proc
+// events hand control to a simulated process.
+type event struct {
+	t     Time
+	seq   uint64 // FIFO tie-break among equal-time events: keeps runs deterministic
+	fn    func()
+	proc  *Proc
+	timer bool // true for Sleep/Advance/start wakes, false for Unpark wakes
+}
+
+// eventHeap is a hand-rolled binary min-heap ordered by (t, seq). A concrete
+// heap avoids the interface boxing of container/heap on the engine hot path.
+type eventHeap struct {
+	ev []event
+}
+
+func (h *eventHeap) len() int { return len(h.ev) }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := &h.ev[i], &h.ev[j]
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.ev[0]
+	last := len(h.ev) - 1
+	h.ev[0] = h.ev[last]
+	h.ev[last] = event{} // release references held by the vacated slot
+	h.ev = h.ev[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.ev) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.ev) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.ev[i], h.ev[smallest] = h.ev[smallest], h.ev[i]
+		i = smallest
+	}
+	return top
+}
+
+// minTime reports the earliest pending event time; ok is false when empty.
+func (h *eventHeap) minTime() (Time, bool) {
+	if len(h.ev) == 0 {
+		return 0, false
+	}
+	return h.ev[0].t, true
+}

@@ -1,0 +1,149 @@
+package sim
+
+import "fmt"
+
+// procState tracks where a simulated process is in its lifecycle.
+type procState int8
+
+const (
+	// stateScheduled: the process has a pending timer event (its start event
+	// or a Sleep/Advance wake) and may only be resumed by that exact timer.
+	stateScheduled procState = iota
+	// stateRunning: the process currently holds control.
+	stateRunning
+	// stateParked: the process is blocked on a condition and is resumed by
+	// any Unpark event. Parked processes must re-check their condition on
+	// wake (spurious wakes are possible and benign).
+	stateParked
+	// stateDone: the process body returned.
+	stateDone
+)
+
+// String names the state for diagnostics.
+func (s procState) String() string {
+	switch s {
+	case stateScheduled:
+		return "scheduled"
+	case stateRunning:
+		return "running"
+	case stateParked:
+		return "parked"
+	case stateDone:
+		return "done"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Proc is one simulated process: a goroutine with a private virtual clock,
+// cooperatively scheduled by its Engine. All methods must be called from the
+// process's own body except UnparkAt, which other processes and scheduler
+// callbacks use to wake it.
+type Proc struct {
+	eng      *Engine
+	id       int
+	name     string
+	now      Time
+	state    procState
+	timerSeq uint64 // sequence of the live timer event, when stateScheduled
+	resume   chan struct{}
+	yield    chan struct{}
+	panicked error
+
+	// Data is an arbitrary per-process slot for the layer above (the MPI
+	// runtime stores its per-rank state here).
+	Data any
+}
+
+// ID returns the spawn-order index of the process.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the name given at spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the process's local virtual clock.
+func (p *Proc) Now() Time { return p.now }
+
+// Engine returns the scheduling engine that owns this process.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// wantsWake reports whether a popped proc event is a live wake for p.
+// Scheduled processes accept only their own timer; parked processes accept
+// only unparks (any stale timer must predate the park); running/done drop
+// everything.
+func (p *Proc) wantsWake(ev event) bool {
+	switch p.state {
+	case stateScheduled:
+		return ev.timer && ev.seq == p.timerSeq
+	case stateParked:
+		return !ev.timer
+	default:
+		return false
+	}
+}
+
+// switchOut hands control back to the scheduler and blocks until resumed.
+// The caller must have already set p.state and scheduled/arranged a wake.
+func (p *Proc) switchOut() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Advance moves the local clock forward by d, modeling local work that costs
+// virtual time. If other events are pending before now+d the process yields
+// through the event queue so that causality is preserved (another process
+// cannot observe this one "in the past"); otherwise it is a cheap clock bump.
+func (p *Proc) Advance(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("proc %q: Advance(%v) with negative duration", p.name, d))
+	}
+	target := p.now + d
+	if min, ok := p.eng.pq.minTime(); !ok || min >= target {
+		p.now = target
+		return
+	}
+	p.sleepUntil(target)
+}
+
+// Sleep blocks the process for d of virtual time. Unlike Advance it always
+// round-trips through the event queue.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("proc %q: Sleep(%v) with negative duration", p.name, d))
+	}
+	p.sleepUntil(p.now + d)
+}
+
+func (p *Proc) sleepUntil(t Time) {
+	p.eng.seq++
+	p.timerSeq = p.eng.seq
+	p.eng.pq.push(event{t: t, seq: p.eng.seq, proc: p, timer: true})
+	p.state = stateScheduled
+	p.switchOut()
+}
+
+// Park blocks the process until another process or a scheduler callback
+// calls UnparkAt. Wakes may be spurious: callers must loop re-checking the
+// condition they are waiting for. On return the local clock has advanced to
+// at least the waker's unpark time.
+func (p *Proc) Park() {
+	p.state = stateParked
+	p.switchOut()
+}
+
+// UnparkAt schedules a wake for p at virtual time at (clamped to the current
+// engine time). It may be called by other processes or scheduler callbacks.
+// Waking a process that is not parked when the wake fires is a harmless
+// no-op, so wakers never need to know whether the sleeper already left.
+func (p *Proc) UnparkAt(at Time) {
+	if at < p.eng.now {
+		at = p.eng.now
+	}
+	p.eng.seq++
+	p.eng.pq.push(event{t: at, seq: p.eng.seq, proc: p})
+}
+
+// Fatalf aborts the whole simulation, recording a formatted error that
+// Engine.Run will return. It does not return.
+func (p *Proc) Fatalf(format string, args ...any) {
+	panic(engineAbort{err: fmt.Errorf("proc %q at %v: %s", p.name, p.now, fmt.Sprintf(format, args...))})
+}
