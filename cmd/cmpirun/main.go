@@ -32,14 +32,14 @@ func main() {
 
 	spec := cmpi.ChameleonSpec()
 	spec.Hosts = *hosts
-	clu := cmpi.NewCluster(spec)
+	clu, err := cmpi.NewClusterE(spec)
+	fatal(err)
 
 	sopts := cmpi.PaperScenarioOpts()
 	if *isolated {
 		sopts = cmpi.IsolatedScenarioOpts()
 	}
 	var deploy *cmpi.Deployment
-	var err error
 	if *containers == 0 {
 		deploy, err = cmpi.Native(clu, *procs)
 	} else {

@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	figID := flag.String("fig", "all", "experiment id (fig1, fig3a, fig3bc, tableI, fig7a..c, fig8..12) or 'all'")
+	figID := flag.String("fig", "all", "experiment id (fig1, fig3a, fig3bc, tableI, fig7a..c, fig8..12, ext-scaling, ext-faults) or 'all'")
 	full := flag.Bool("full", false, "run at the paper's full deployment geometry (slower)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text (for plotting)")

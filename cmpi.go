@@ -33,6 +33,7 @@ package cmpi
 import (
 	"cmpi/internal/cluster"
 	"cmpi/internal/core"
+	"cmpi/internal/fault"
 	"cmpi/internal/graph500"
 	"cmpi/internal/mpi"
 	"cmpi/internal/npb"
@@ -123,9 +124,75 @@ var (
 	BOr = mpi.BOr
 )
 
+// Fault injection and error handling.
+type (
+	// FaultPlan is a deterministic fault schedule; hand one to
+	// Options.FaultPlan and identical plans produce identical outcomes.
+	FaultPlan = fault.Plan
+	// FaultEvent is one scheduled fault in a plan.
+	FaultEvent = fault.Event
+	// FaultKind selects a fault class (LinkFlap, SendDrop, RankCrash, ...).
+	FaultKind = fault.Kind
+	// FaultStats counts retransmissions and channel fallbacks per rank.
+	FaultStats = profile.FaultStats
+	// ErrorHandler selects job behaviour on channel errors
+	// (ErrorsAreFatal or ErrorsReturn), like MPI_Errhandler.
+	ErrorHandler = mpi.ErrorHandler
+	// RankError wraps a failure with the rank identity and virtual time.
+	RankError = mpi.RankError
+	// ChannelError reports a broken HCA channel to one peer.
+	ChannelError = mpi.ChannelError
+	// CrashError reports an injected rank crash.
+	CrashError = mpi.CrashError
+)
+
+// Fault kinds (see FaultPlan builders for the usual way to schedule them).
+const (
+	LinkFlap      = fault.LinkFlap
+	LinkDegrade   = fault.LinkDegrade
+	LoopStall     = fault.LoopStall
+	SendDrop      = fault.SendDrop
+	ShmAttachFail = fault.ShmAttachFail
+	CMAFail       = fault.CMAFail
+	RankCrash     = fault.RankCrash
+	Straggler     = fault.Straggler
+)
+
+// Error handlers and fault wildcards.
+const (
+	// ErrorsAreFatal aborts the job on the first channel error (default,
+	// MPI_ERRORS_ARE_FATAL).
+	ErrorsAreFatal = mpi.ErrorsAreFatal
+	// ErrorsReturn completes affected requests with an error and lets ranks
+	// continue (MPI_ERRORS_RETURN).
+	ErrorsReturn = mpi.ErrorsReturn
+	// AnyTarget is the FaultEvent host/rank wildcard.
+	AnyTarget = fault.Any
+)
+
+// ErrInjected is the sentinel all injected faults wrap; test with errors.Is.
+var ErrInjected = fault.ErrInjected
+
+// NewFaultPlan returns an empty fault plan for fluent building.
+func NewFaultPlan() *FaultPlan { return fault.NewPlan() }
+
+// RandomFaultPlan generates a seeded plan of n events over [0, span) for a
+// hosts x ranks geometry — deterministic per seed, for stress testing.
+func RandomFaultPlan(seed int64, hosts, ranks, n int, span Time) *FaultPlan {
+	return fault.RandomPlan(seed, hosts, ranks, n, span)
+}
+
+// RetryTimeoutFromExponent converts an MVAPICH-style local-ACK-timeout
+// exponent (MV2_DEFAULT_TIME_OUT) to a virtual duration: 4.096us * 2^exp.
+func RetryTimeoutFromExponent(exp int) Time { return core.RetryTimeoutFromExponent(exp) }
+
 // NewCluster builds a cluster from spec (panics on invalid specs; use
-// cluster validation via ClusterSpec.Validate for graceful handling).
+// NewClusterE for graceful handling).
 func NewCluster(spec ClusterSpec) *Cluster { return cluster.MustNew(spec) }
+
+// NewClusterE builds a cluster from spec, returning a descriptive error for
+// invalid specs instead of panicking.
+func NewClusterE(spec ClusterSpec) (*Cluster, error) { return cluster.New(spec) }
 
 // ChameleonSpec returns the paper's testbed: 16 nodes, 2x12 cores, FDR HCAs.
 func ChameleonSpec() ClusterSpec { return cluster.ChameleonSpec() }

@@ -219,3 +219,43 @@ func TestPublicStockVsDefaultOptionsDiffer(t *testing.T) {
 		t.Error("perf params not initialized")
 	}
 }
+
+func TestPublicNewClusterE(t *testing.T) {
+	if _, err := cmpi.NewClusterE(cmpi.ClusterSpec{Hosts: 0}); err == nil {
+		t.Error("NewClusterE must reject an empty spec")
+	}
+	clu, err := cmpi.NewClusterE(cmpi.ClusterSpec{Hosts: 1, SocketsPerHost: 2, CoresPerSocket: 12, HCAsPerHost: 1})
+	if err != nil || clu == nil {
+		t.Fatalf("NewClusterE(valid) = %v, %v", clu, err)
+	}
+}
+
+func TestPublicFaultInjection(t *testing.T) {
+	clu := cmpi.NewCluster(cmpi.ClusterSpec{Hosts: 2, SocketsPerHost: 2, CoresPerSocket: 12, HCAsPerHost: 1})
+	d, err := cmpi.Containers(clu, 2, 8, cmpi.PaperScenarioOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := cmpi.DefaultOptions()
+	opts.Profile = true
+	opts.FaultPlan = cmpi.NewFaultPlan().
+		LinkFlap(0, 20*cmpi.TimeFromMicros(1), 100*cmpi.TimeFromMicros(1)).
+		CMAFail(0, 0, 0).
+		SendDrops(1, 0, 0, 2)
+	w, err := cmpi.NewWorld(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(r *cmpi.Rank) error {
+		buf := cmpi.EncodeFloat64s(make([]float64, 32768))
+		r.Allreduce(buf, cmpi.SumFloat64)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("faulty public-API run failed: %v", err)
+	}
+	fs := w.Prof.TotalFaults()
+	if fs.Total() == 0 {
+		t.Errorf("fault plan left no trace in the profile: %+v", fs)
+	}
+}

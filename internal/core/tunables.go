@@ -6,7 +6,11 @@
 // (SMP_EAGER_SIZE, SMPI_LENGTH_QUEUE, MV2_IBA_EAGER_THRESHOLD).
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"cmpi/internal/sim"
+)
 
 // Tunables mirrors the MVAPICH2 runtime parameters studied in Sec. IV-C/D.
 type Tunables struct {
@@ -32,6 +36,15 @@ type Tunables struct {
 	// (bandwidth-optimal) above this message size, mirroring
 	// MV2_ALLREDUCE_SHORT_MSG.
 	AllreduceLargeThreshold int
+	// RetryCount mirrors the RC retry_cnt attribute (MV2_DEFAULT_RETRY_COUNT):
+	// how many times the HCA retransmits an unacknowledged operation before
+	// completing it with an error and breaking the queue pair. 0 means "use
+	// the transport default" (7, the verbs maximum MVAPICH2 configures).
+	RetryCount int
+	// RetryTimeout is the base RC retransmission timeout; each retry doubles
+	// it (exponential backoff), mirroring the 4.096us * 2^MV2_DEFAULT_TIME_OUT
+	// encoding of the local ACK timeout. 0 means "use the transport default".
+	RetryTimeout sim.Time
 }
 
 // DefaultTunables returns the paper's container-tuned values.
@@ -42,7 +55,21 @@ func DefaultTunables() Tunables {
 		IBAEagerThreshold:       17 * 1024,
 		UseCMA:                  true,
 		AllreduceLargeThreshold: 16 * 1024,
+		RetryCount:              7,
+		RetryTimeout:            RetryTimeoutFromExponent(2), // 4.096us * 2^2
 	}
+}
+
+// RetryTimeoutFromExponent converts the verbs local-ACK-timeout encoding
+// (MV2_DEFAULT_TIME_OUT) into virtual time: 4.096us * 2^exp.
+func RetryTimeoutFromExponent(exp int) sim.Time {
+	if exp < 0 {
+		exp = 0
+	}
+	if exp > 31 {
+		exp = 31
+	}
+	return sim.Time(4096) * sim.Nanosecond << uint(exp)
 }
 
 // Validate rejects configurations the runtime cannot operate with.
@@ -56,6 +83,12 @@ func (t Tunables) Validate() error {
 	}
 	if t.IBAEagerThreshold < 128 {
 		return fmt.Errorf("tunables: MV2_IBA_EAGER_THRESHOLD = %d, need >= 128", t.IBAEagerThreshold)
+	}
+	if t.RetryCount < 0 {
+		return fmt.Errorf("tunables: retry count = %d, need >= 0", t.RetryCount)
+	}
+	if t.RetryTimeout < 0 {
+		return fmt.Errorf("tunables: retry timeout = %v, need >= 0", t.RetryTimeout)
 	}
 	return nil
 }

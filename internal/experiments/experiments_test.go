@@ -19,7 +19,7 @@ func cell(t *testing.T, s string) float64 {
 
 func TestRegistryCoversAllArtifacts(t *testing.T) {
 	want := []string{"fig1", "fig3a", "fig3bc", "tableI", "fig7a", "fig7b", "fig7c",
-		"fig8", "fig9", "fig10", "fig11", "fig12", "ext-scaling"}
+		"fig8", "fig9", "fig10", "fig11", "fig12", "ext-scaling", "ext-faults"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -248,5 +248,35 @@ func TestScalingExtensionImprovementPersists(t *testing.T) {
 	}
 	if len(tab.Rows) < 3 {
 		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFaultsExtensionShape(t *testing.T) {
+	tab, err := FaultsExtension(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want clean + faulty + repeat", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[6] != "true" {
+			t.Errorf("%s: results incorrect", row[0])
+		}
+	}
+	clean, faulty, repeat := tab.Rows[0], tab.Rows[1], tab.Rows[2]
+	if cell(t, clean[2]) != 0 || cell(t, clean[4]) != 0 || cell(t, clean[5]) != 0 {
+		t.Errorf("clean run shows fault counters: %v", clean)
+	}
+	if cell(t, faulty[2]) == 0 || cell(t, faulty[4]) == 0 || cell(t, faulty[5]) == 0 {
+		t.Errorf("faulty run missing retransmits/fallbacks: %v", faulty)
+	}
+	if cell(t, faulty[1]) <= cell(t, clean[1]) {
+		t.Errorf("faults did not cost time: clean %v, faulty %v", clean[1], faulty[1])
+	}
+	for i := 1; i < len(faulty); i++ {
+		if faulty[i] != repeat[i] {
+			t.Errorf("faulty runs diverged in col %d: %q vs %q", i, faulty[i], repeat[i])
+		}
 	}
 }

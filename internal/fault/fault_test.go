@@ -1,0 +1,175 @@
+package fault
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"cmpi/internal/sim"
+)
+
+func us(v int64) sim.Time { return sim.Time(v) * sim.Microsecond }
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+		ok   bool
+	}{
+		{"link flap ok", Event{Kind: LinkFlap, Host: 1, At: us(1), Duration: us(2)}, true},
+		{"wildcard host", Event{Kind: CMAFail, Host: Any, At: 0}, true},
+		{"host out of range", Event{Kind: LinkFlap, Host: 4, At: 0}, false},
+		{"negative at", Event{Kind: LinkFlap, Host: 0, At: -1}, false},
+		{"crash needs rank", Event{Kind: RankCrash, Rank: Any, At: us(1)}, false},
+		{"crash ok", Event{Kind: RankCrash, Rank: 3, At: us(1)}, true},
+		{"degrade factor below one", Event{Kind: LinkDegrade, Host: 0, Factor: 0.5}, false},
+		{"straggler ok", Event{Kind: Straggler, Rank: Any, Factor: 2}, true},
+		{"send drop needs count", Event{Kind: SendDrop, Host: 0}, false},
+	}
+	for _, tc := range cases {
+		p := NewPlan().Add(tc.ev)
+		err := p.Validate(4, 8)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: Validate = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestWindowSemantics(t *testing.T) {
+	e := Event{Kind: CMAFail, Host: 0, At: us(10), Duration: us(5)}
+	for _, tc := range []struct {
+		t  sim.Time
+		in bool
+	}{
+		{us(9), false}, {us(10), true}, {us(14), true}, {us(15), false},
+	} {
+		if got := e.window(tc.t); got != tc.in {
+			t.Errorf("window(%v) = %v, want %v", tc.t, got, tc.in)
+		}
+	}
+	open := Event{Kind: CMAFail, Host: 0, At: us(10)}
+	if !open.window(us(1000000)) {
+		t.Error("open-ended window should cover all later times")
+	}
+}
+
+func TestLinkReadyChainsWindows(t *testing.T) {
+	p := NewPlan().
+		LinkFlap(0, us(10), us(5)).
+		LinkFlap(0, us(15), us(5)). // adjacent: stall must clear both
+		LinkFlap(1, us(0), us(100))
+	in, err := NewInjector(p, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stalled := in.LinkReady(0, us(12))
+	if !stalled || got != us(20) {
+		t.Fatalf("LinkReady(0, 12us) = %v stalled=%v, want 20us true", got, stalled)
+	}
+	got, stalled = in.LinkReady(0, us(25))
+	if stalled || got != us(25) {
+		t.Fatalf("LinkReady outside window moved time: %v %v", got, stalled)
+	}
+	if c := in.Counters().LinkStalls; c != 1 {
+		t.Fatalf("LinkStalls = %d, want 1", c)
+	}
+}
+
+func TestSendDropBudget(t *testing.T) {
+	p := NewPlan().SendDrops(0, us(0), us(100), 2)
+	in, err := NewInjector(p, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drops := 0
+	for i := 0; i < 5; i++ {
+		if in.ConsumeSendDrop(0, us(int64(i))) {
+			drops++
+		}
+	}
+	if drops != 2 {
+		t.Fatalf("drops = %d, want budget of 2", drops)
+	}
+	if in.ConsumeSendDrop(0, us(200)) {
+		t.Fatal("drop fired outside window")
+	}
+	if c := in.Counters().SendDrops; c != 2 {
+		t.Fatalf("SendDrops = %d, want 2", c)
+	}
+}
+
+func TestShmAttachPrefixFilter(t *testing.T) {
+	p := NewPlan().ShmAttachFail(0, us(0), 0, "cmpi.ring.")
+	in, err := NewInjector(p, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.ShmAttachFails(0, "cmpi.locality.job1", us(1)) {
+		t.Fatal("prefix filter should spare the locality segment")
+	}
+	if !in.ShmAttachFails(0, "cmpi.ring.job1.0-1", us(1)) {
+		t.Fatal("ring segment should fail")
+	}
+}
+
+func TestStretchAndCrash(t *testing.T) {
+	p := NewPlan().Straggler(1, us(10), us(10), 3).RankCrash(0, us(50))
+	in, err := NewInjector(p, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := in.Stretch(1, us(15), us(2)); d != us(6) {
+		t.Fatalf("Stretch in window = %v, want 6us", d)
+	}
+	if d := in.Stretch(1, us(25), us(2)); d != us(2) {
+		t.Fatalf("Stretch outside window = %v, want 2us", d)
+	}
+	if d := in.Stretch(0, us(15), us(2)); d != us(2) {
+		t.Fatalf("Stretch wrong rank = %v, want 2us", d)
+	}
+	at, ok := in.CrashTime(0)
+	if !ok || at != us(50) {
+		t.Fatalf("CrashTime(0) = %v %v, want 50us true", at, ok)
+	}
+	if _, ok := in.CrashTime(1); ok {
+		t.Fatal("rank 1 has no crash scheduled")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if tt, s := in.LinkReady(0, us(5)); s || tt != us(5) {
+		t.Fatal("nil injector stalled a link")
+	}
+	if in.ConsumeSendDrop(0, 0) || in.CMAFails(0, 0) || in.ShmAttachFails(0, "x", 0) {
+		t.Fatal("nil injector fired a fault")
+	}
+	if d := in.Stretch(0, 0, us(1)); d != us(1) {
+		t.Fatal("nil injector stretched time")
+	}
+	if c := in.Counters(); c != (Counters{}) {
+		t.Fatal("nil injector counted something")
+	}
+}
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	a := RandomPlan(42, 4, 16, 20, sim.Millisecond)
+	b := RandomPlan(42, 4, 16, 20, sim.Millisecond)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("RandomPlan with equal seeds differs")
+	}
+	c := RandomPlan(43, 4, 16, 20, sim.Millisecond)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("RandomPlan ignored the seed")
+	}
+	if err := a.Validate(4, 16); err != nil {
+		t.Fatalf("RandomPlan produced invalid plan: %v", err)
+	}
+}
+
+func TestAttachErrorUnwrapsSentinel(t *testing.T) {
+	err := error(&AttachError{Name: "seg", Host: 2})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatal("AttachError must unwrap to ErrInjected")
+	}
+}

@@ -1,0 +1,282 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"cmpi/internal/sim"
+)
+
+// ErrInjected is the sentinel cause wrapped by every error the injector
+// manufactures, so layers can distinguish injected faults from model bugs
+// with errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// AttachError is returned (wrapped) by shared-memory attaches that an
+// injector failed.
+type AttachError struct {
+	// Name is the segment whose attach failed.
+	Name string
+	// Host is the host index the failure fired on.
+	Host int
+}
+
+// Error formats the failure.
+func (e *AttachError) Error() string {
+	return fmt.Sprintf("shm attach of %q failed on host %d: %v", e.Name, e.Host, ErrInjected)
+}
+
+// Unwrap exposes ErrInjected for errors.Is.
+func (e *AttachError) Unwrap() error { return ErrInjected }
+
+// Counters tallies fault-plan activity, for observability of runs under
+// injection. All counting happens in engine context, so plain fields are
+// race-free.
+type Counters struct {
+	// LinkStalls counts transfers deferred by a LinkFlap window.
+	LinkStalls uint64
+	// LoopStalls counts loopback transfers deferred by a LoopStall window.
+	LoopStalls uint64
+	// SendDrops counts transmissions dropped (each costs one retransmit).
+	SendDrops uint64
+	// ShmAttachFailures counts attaches failed by ShmAttachFail events.
+	ShmAttachFailures uint64
+	// CMAFailures counts process_vm_readv calls failed by CMAFail events.
+	CMAFailures uint64
+	// StragglerHits counts compute sections stretched by Straggler events.
+	StragglerHits uint64
+}
+
+// String renders the non-zero counters compactly.
+func (c Counters) String() string {
+	var parts []string
+	add := func(name string, v uint64) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	add("linkStalls", c.LinkStalls)
+	add("loopStalls", c.LoopStalls)
+	add("sendDrops", c.SendDrops)
+	add("shmAttachFailures", c.ShmAttachFailures)
+	add("cmaFailures", c.CMAFailures)
+	add("stragglerHits", c.StragglerHits)
+	if len(parts) == 0 {
+		return "no faults fired"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Injector is one job's live view of a Plan: window queries plus the
+// mutable budget state of counted events. Build one per World; injectors
+// must not be shared across concurrently running engines.
+type Injector struct {
+	events  []Event
+	budgets []int // remaining Count per event (-1 = unlimited)
+	ctr     Counters
+}
+
+// NewInjector validates the plan against the deployment geometry and
+// returns a fresh injector. A nil plan yields a nil injector (no faults),
+// which every query method tolerates.
+func NewInjector(p *Plan, hosts, ranks int) (*Injector, error) {
+	if p == nil {
+		return nil, nil
+	}
+	if err := p.Validate(hosts, ranks); err != nil {
+		return nil, err
+	}
+	in := &Injector{events: append([]Event(nil), p.Events...)}
+	in.budgets = make([]int, len(in.events))
+	for i, e := range in.events {
+		if e.Count > 0 {
+			in.budgets[i] = e.Count
+		} else {
+			in.budgets[i] = -1
+		}
+	}
+	return in, nil
+}
+
+// Counters returns a snapshot of fault activity so far.
+func (in *Injector) Counters() Counters {
+	if in == nil {
+		return Counters{}
+	}
+	return in.ctr
+}
+
+// hostMatch reports whether event e targets host.
+func hostMatch(e *Event, host int) bool { return e.Host == Any || e.Host == host }
+
+// rankMatch reports whether event e targets rank.
+func rankMatch(e *Event, rank int) bool { return e.Rank == Any || e.Rank == rank }
+
+// LinkReady defers t past any LinkFlap window covering host and reports
+// whether a stall occurred. Adjacent windows chain: the returned time is
+// outside every flap window.
+func (in *Injector) LinkReady(host int, t sim.Time) (sim.Time, bool) {
+	if in == nil {
+		return t, false
+	}
+	stalled := false
+	for moved := true; moved; {
+		moved = false
+		for i := range in.events {
+			e := &in.events[i]
+			if e.Kind != LinkFlap || !hostMatch(e, host) || e.Duration == 0 || !e.window(t) {
+				continue
+			}
+			t = e.At + e.Duration
+			stalled, moved = true, true
+		}
+	}
+	if stalled {
+		in.ctr.LinkStalls++
+	}
+	return t, stalled
+}
+
+// LoopReady is LinkReady for the loopback DMA engine (LoopStall windows).
+func (in *Injector) LoopReady(host int, t sim.Time) (sim.Time, bool) {
+	if in == nil {
+		return t, false
+	}
+	stalled := false
+	for moved := true; moved; {
+		moved = false
+		for i := range in.events {
+			e := &in.events[i]
+			if e.Kind != LoopStall || !hostMatch(e, host) || e.Duration == 0 || !e.window(t) {
+				continue
+			}
+			t = e.At + e.Duration
+			stalled, moved = true, true
+		}
+	}
+	if stalled {
+		in.ctr.LoopStalls++
+	}
+	return t, stalled
+}
+
+// OccScale multiplies a link occupancy by the strongest LinkDegrade factor
+// active on host at time t.
+func (in *Injector) OccScale(host int, t sim.Time, occ sim.Time) sim.Time {
+	if in == nil {
+		return occ
+	}
+	factor := 1.0
+	for i := range in.events {
+		e := &in.events[i]
+		if e.Kind == LinkDegrade && hostMatch(e, host) && e.window(t) && e.Factor > factor {
+			factor = e.Factor
+		}
+	}
+	if factor == 1.0 {
+		return occ
+	}
+	return sim.Time(float64(occ) * factor)
+}
+
+// ConsumeSendDrop reports whether a transmission posted from host at time t
+// is dropped, decrementing the matching event's budget. Deterministic:
+// events are scanned in plan order and the first live match consumes.
+func (in *Injector) ConsumeSendDrop(host int, t sim.Time) bool {
+	if in == nil {
+		return false
+	}
+	for i := range in.events {
+		e := &in.events[i]
+		if e.Kind != SendDrop || !hostMatch(e, host) || !e.window(t) || in.budgets[i] == 0 {
+			continue
+		}
+		in.budgets[i]--
+		in.ctr.SendDrops++
+		return true
+	}
+	return false
+}
+
+// ShmAttachFails reports whether attaching segment name on host at time t
+// fails, consuming any budget on the matching event.
+func (in *Injector) ShmAttachFails(host int, name string, t sim.Time) bool {
+	if in == nil {
+		return false
+	}
+	for i := range in.events {
+		e := &in.events[i]
+		if e.Kind != ShmAttachFail || !hostMatch(e, host) || !e.window(t) || in.budgets[i] == 0 {
+			continue
+		}
+		if e.SegPrefix != "" && !strings.HasPrefix(name, e.SegPrefix) {
+			continue
+		}
+		if in.budgets[i] > 0 {
+			in.budgets[i]--
+		}
+		in.ctr.ShmAttachFailures++
+		return true
+	}
+	return false
+}
+
+// CMAFails reports whether a process_vm_readv issued on host at time t
+// fails, consuming any budget on the matching event.
+func (in *Injector) CMAFails(host int, t sim.Time) bool {
+	if in == nil {
+		return false
+	}
+	for i := range in.events {
+		e := &in.events[i]
+		if e.Kind != CMAFail || !hostMatch(e, host) || !e.window(t) || in.budgets[i] == 0 {
+			continue
+		}
+		if in.budgets[i] > 0 {
+			in.budgets[i]--
+		}
+		in.ctr.CMAFailures++
+		return true
+	}
+	return false
+}
+
+// CrashTime returns the earliest scheduled crash for rank.
+func (in *Injector) CrashTime(rank int) (sim.Time, bool) {
+	if in == nil {
+		return 0, false
+	}
+	var at sim.Time
+	found := false
+	for i := range in.events {
+		e := &in.events[i]
+		if e.Kind != RankCrash || e.Rank != rank {
+			continue
+		}
+		if !found || e.At < at {
+			at, found = e.At, true
+		}
+	}
+	return at, found
+}
+
+// Stretch scales a compute span d for rank by the strongest Straggler
+// factor active at time t.
+func (in *Injector) Stretch(rank int, t sim.Time, d sim.Time) sim.Time {
+	if in == nil {
+		return d
+	}
+	factor := 1.0
+	for i := range in.events {
+		e := &in.events[i]
+		if e.Kind == Straggler && rankMatch(e, rank) && e.window(t) && e.Factor > factor {
+			factor = e.Factor
+		}
+	}
+	if factor == 1.0 {
+		return d
+	}
+	in.ctr.StragglerHits++
+	return sim.Time(float64(d) * factor)
+}

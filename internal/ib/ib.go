@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"cmpi/internal/cluster"
+	"cmpi/internal/fault"
 	"cmpi/internal/perf"
 	"cmpi/internal/sim"
 )
@@ -33,7 +34,52 @@ type Fabric struct {
 	prm   *perf.Params
 	ports []*port
 	qpn   int
+
+	// inj, when non-nil, is the job's fault injector: link flap/degrade and
+	// loopback stall windows defer or stretch transfers, and send-drop events
+	// trigger RC retransmission. All queries happen at virtual-time points in
+	// engine context, so faulty runs stay deterministic.
+	inj      *fault.Injector
+	retryCnt int      // RC retry_cnt: max retransmissions before QP error
+	retryTO  sim.Time // base retransmission timeout; doubles per retry
+	stats    FaultStats
 }
+
+// FaultStats tallies transport-level fault handling on the fabric.
+type FaultStats struct {
+	// Retransmits counts dropped transmissions that were retried.
+	Retransmits uint64
+	// RetryExhausted counts operations that ran out of retries and completed
+	// with WCRetryExceeded, breaking their queue pair.
+	RetryExhausted uint64
+}
+
+// Default RC retry policy, used when SetFaults is given non-positive knobs:
+// 7 retries (the verbs maximum MVAPICH2 configures) over a 16.384us base
+// timeout (the 4.096us * 2^2 local-ACK-timeout encoding).
+const (
+	defaultRetryCount   = 7
+	defaultRetryTimeout = sim.Time(16384) * sim.Nanosecond
+)
+
+// SetFaults arms the fabric with a fault injector and the RC retry policy
+// (retryCnt retransmissions over an exponentially backed-off timeout starting
+// at retryTO). Non-positive knobs select the transport defaults. A nil
+// injector leaves the fabric fault-free.
+func (f *Fabric) SetFaults(inj *fault.Injector, retryCnt int, retryTO sim.Time) {
+	f.inj = inj
+	f.retryCnt = retryCnt
+	f.retryTO = retryTO
+	if f.retryCnt <= 0 {
+		f.retryCnt = defaultRetryCount
+	}
+	if f.retryTO <= 0 {
+		f.retryTO = defaultRetryTimeout
+	}
+}
+
+// FaultStats returns a snapshot of the fabric's fault-handling counters.
+func (f *Fabric) FaultStats() FaultStats { return f.stats }
 
 // port is the per-host HCA attachment point with its link resources.
 type port struct {
@@ -118,6 +164,41 @@ func (o Opcode) String() string {
 	return fmt.Sprintf("op(%d)", int(o))
 }
 
+// WCStatus is the completion status of a CQE, mirroring ibv_wc_status.
+type WCStatus int
+
+// Completion statuses.
+const (
+	// WCSuccess is a normal completion.
+	WCSuccess WCStatus = iota
+	// WCRetryExceeded reports that the operation exhausted the RC retry
+	// budget (IBV_WC_RETRY_EXC_ERR); the QP has transitioned to the error
+	// state.
+	WCRetryExceeded
+	// WCFlushed reports a work request flushed because it was posted to a QP
+	// already in the error state (IBV_WC_WR_FLUSH_ERR).
+	WCFlushed
+	// WCRemoteAbort reports that the remote end of the QP broke the
+	// connection (the peer exhausted its retries); delivered on the receive
+	// CQ so the passive side observes the failure instead of hanging.
+	WCRemoteAbort
+)
+
+// String names the status for diagnostics.
+func (s WCStatus) String() string {
+	switch s {
+	case WCSuccess:
+		return "success"
+	case WCRetryExceeded:
+		return "retry-exceeded"
+	case WCFlushed:
+		return "flushed"
+	case WCRemoteAbort:
+		return "remote-abort"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
 // CQE is one completion entry.
 type CQE struct {
 	// QP is the queue pair the completion belongs to.
@@ -127,6 +208,9 @@ type CQE struct {
 	WRID uint64
 	// Op is the completed operation.
 	Op Opcode
+	// Status reports success or the failure class. On error, Bytes/Imm/Buf
+	// are undefined.
+	Status WCStatus
 	// Bytes is the payload size.
 	Bytes int
 	// Imm carries the immediate value for OpWriteImm.
@@ -134,6 +218,9 @@ type CQE struct {
 	// Buf holds the delivered payload for auto-receive QPs (SRQ-style
 	// delivery into a runtime-managed bounce buffer); nil otherwise.
 	Buf []byte
+	// Retries counts the retransmissions the operation needed (nonzero only
+	// under fault injection).
+	Retries int
 }
 
 // CQ is a completion queue. One CQ may serve many QPs (the MPI runtime uses
@@ -208,7 +295,17 @@ type QP struct {
 	// buffer pool — what lets an MPI runtime serve O(ranks²) QPs without
 	// O(ranks²) pre-posted buffers.
 	autoRecv bool
+
+	// broken marks the QP in the error state (retry exhaustion on either
+	// end). Work posted afterwards completes immediately with WCFlushed.
+	broken bool
 }
+
+// Peer returns the remote end of the RC pair (nil before Connect).
+func (q *QP) Peer() *QP { return q.peer }
+
+// Broken reports whether the QP is in the error state.
+func (q *QP) Broken() bool { return q.broken }
 
 // EnableAutoRecv switches the QP to SRQ-style delivery: inbound SENDs
 // complete with CQE.Buf pointing at a runtime-managed bounce buffer, and
@@ -245,23 +342,80 @@ func (q *QP) loopback() bool {
 
 // transitTimes books link resources for an n-byte transfer posted at t0 and
 // returns (txEnd, arrival): when the sender-side resource is released and
-// when the last byte lands at the receiver.
+// when the last byte lands at the receiver. Fault windows shape the booking:
+// LinkFlap defers the transfer past the port-down window, LoopStall defers
+// loopback DMA, and LinkDegrade stretches the per-operation occupancy.
 func (f *Fabric) transitTimes(src, dst int, n int, t0 sim.Time) (txEnd, arrival sim.Time) {
 	prm := f.prm
 	if src == dst {
 		pt := f.ports[src]
 		occ := prm.IBOpOccupancy(n, true)
 		start := maxT(pt.loop, t0)
+		start, _ = f.inj.LoopReady(src, start)
+		occ = f.inj.OccScale(src, start, occ)
 		pt.loop = start + occ
 		return pt.loop, start + occ + prm.IBWireLatencyLoop
 	}
 	occ := prm.IBOpOccupancy(n, false)
 	up, down := f.ports[src], f.ports[dst]
 	startTx := maxT(up.up, t0)
-	up.up = startTx + occ
+	startTx, _ = f.inj.LinkReady(src, startTx)
+	upOcc := f.inj.OccScale(src, startTx, occ)
+	up.up = startTx + upOcc
 	rxStart := maxT(startTx+prm.IBWireLatencyInter, down.down)
-	down.down = rxStart + occ
+	rxStart, _ = f.inj.LinkReady(dst, rxStart)
+	// The receiver cannot drain faster than a degraded sender trickles bytes
+	// out, so the downlink is occupied for the slower of the two rates.
+	down.down = rxStart + maxT(upOcc, f.inj.OccScale(dst, rxStart, occ))
 	return up.up, down.down
+}
+
+// retrySchedule consumes send-drop events for a transmission posted from
+// host at t0 and returns the effective transmit time after retransmissions,
+// how many retries were spent, and ok=false when the retry budget is
+// exhausted (in which case the returned time is when the failure is
+// detected). Each retry doubles the timeout (RC exponential backoff).
+func (f *Fabric) retrySchedule(host int, t0 sim.Time) (at sim.Time, retries int, ok bool) {
+	if f.inj == nil {
+		return t0, 0, true
+	}
+	t := t0
+	timeout := f.retryTO
+	for f.inj.ConsumeSendDrop(host, t) {
+		retries++
+		t += timeout
+		timeout *= 2
+		if retries > f.retryCnt {
+			f.stats.RetryExhausted++
+			return t, retries, false
+		}
+		f.stats.Retransmits++
+	}
+	return t, retries, true
+}
+
+// breakPair transitions both ends of q's RC pair into the error state at
+// virtual time at and delivers the error completions: WCRetryExceeded on the
+// poster's send CQ (echoing wrid/op) and WCRemoteAbort on the peer's receive
+// CQ, so neither side can hang waiting on a connection that no longer exists.
+func (f *Fabric) breakPair(at sim.Time, q *QP, wrid uint64, op Opcode, retries int) {
+	peer := q.peer
+	q.broken, peer.broken = true, true
+	f.eng.At(at, func() {
+		q.sendCQ.push(at, CQE{QP: q, WRID: wrid, Op: op, Status: WCRetryExceeded, Retries: retries})
+		peer.recvCQ.push(at, CQE{QP: peer, Op: OpRecv, Status: WCRemoteAbort})
+	})
+}
+
+// flush completes a work request posted to a broken QP with WCFlushed on the
+// send CQ, charging only the post overhead.
+func (q *QP) flush(p *sim.Proc, wrid uint64, op Opcode) {
+	p.Advance(q.dev.fabric.prm.IBPostOverhead)
+	t := p.Now()
+	sq := q.sendCQ
+	q.dev.fabric.eng.At(t, func() {
+		sq.push(t, CQE{QP: q, WRID: wrid, Op: op, Status: WCFlushed})
+	})
 }
 
 func maxT(a, b sim.Time) sim.Time {
@@ -303,11 +457,20 @@ func (q *QP) PostSend(p *sim.Proc, wrid uint64, payload []byte, imm uint64) {
 	if q.peer == nil {
 		p.Fatalf("ib: PostSend on unconnected QP %d", q.qpn)
 	}
+	if q.broken {
+		q.flush(p, wrid, OpSend)
+		return
+	}
 	prm := q.dev.fabric.prm
 	p.Advance(prm.IBPostOverhead)
 	t0 := p.Now()
-	snapshot := append([]byte(nil), payload...)
 	f := q.dev.fabric
+	t0, retries, ok := f.retrySchedule(q.dev.Env.Host.Index, t0)
+	if !ok {
+		f.breakPair(t0, q, wrid, OpSend, retries)
+		return
+	}
+	snapshot := append([]byte(nil), payload...)
 	txEnd, arrival := f.transitTimes(q.dev.Env.Host.Index, q.peer.dev.Env.Host.Index, len(snapshot)+hdrBytes, t0)
 	peer := q.peer
 	f.eng.At(arrival, func() {
@@ -325,7 +488,7 @@ func (q *QP) PostSend(p *sim.Proc, wrid uint64, payload []byte, imm uint64) {
 	})
 	sq := q.sendCQ
 	f.eng.At(txEnd, func() {
-		sq.push(txEnd, CQE{QP: q, WRID: wrid, Op: OpSend, Bytes: len(snapshot)})
+		sq.push(txEnd, CQE{QP: q, WRID: wrid, Op: OpSend, Bytes: len(snapshot), Retries: retries})
 	})
 }
 
@@ -343,11 +506,20 @@ func (q *QP) PostWrite(p *sim.Proc, wrid uint64, src []byte, remote *MR, off int
 	if off < 0 || off+len(src) > len(remote.Buf) {
 		p.Fatalf("ib: RDMA WRITE of %d bytes at offset %d overflows %d-byte MR", len(src), off, len(remote.Buf))
 	}
+	if q.broken {
+		q.flush(p, wrid, OpWrite)
+		return
+	}
 	prm := q.dev.fabric.prm
 	p.Advance(prm.IBPostOverhead)
 	t0 := p.Now()
-	snapshot := append([]byte(nil), src...)
 	f := q.dev.fabric
+	t0, retries, ok := f.retrySchedule(q.dev.Env.Host.Index, t0)
+	if !ok {
+		f.breakPair(t0, q, wrid, OpWrite, retries)
+		return
+	}
+	snapshot := append([]byte(nil), src...)
 	loop := q.loopback()
 	_, arrival := f.transitTimes(q.dev.Env.Host.Index, q.peer.dev.Env.Host.Index, len(snapshot)+hdrBytes, t0)
 	peer := q.peer
@@ -370,7 +542,7 @@ func (q *QP) PostWrite(p *sim.Proc, wrid uint64, src []byte, remote *MR, off int
 	ack := arrival + prm.IBWireLatency(loop)
 	sq := q.sendCQ
 	f.eng.At(ack, func() {
-		sq.push(ack, CQE{QP: q, WRID: wrid, Op: OpWrite, Bytes: len(snapshot)})
+		sq.push(ack, CQE{QP: q, WRID: wrid, Op: OpWrite, Bytes: len(snapshot), Retries: retries})
 	})
 }
 
@@ -384,6 +556,13 @@ func (q *QP) PostRead(p *sim.Proc, wrid uint64, dst []byte, remote *MR, off int)
 	if off < 0 || off+len(dst) > len(remote.Buf) {
 		p.Fatalf("ib: RDMA READ of %d bytes at offset %d overflows %d-byte MR", len(dst), off, len(remote.Buf))
 	}
+	if q.broken {
+		q.flush(p, wrid, OpRead)
+		return
+	}
+	// Drops are not injected on the READ request hop: it is header-only and
+	// the MPI runtime drives bulk data through SEND/WRITE, so retry handling
+	// there covers the interesting paths.
 	prm := q.dev.fabric.prm
 	p.Advance(prm.IBPostOverhead)
 	t0 := p.Now()

@@ -19,6 +19,8 @@ import (
 //	MV2_CONTAINER_SUPPORT     0/1: the paper's locality-aware design
 //	                          (the MVAPICH2-Virt flag this work shipped as)
 //	MV2_USE_HIERARCHICAL_COLL 0/1: two-level collectives (extension)
+//	MV2_DEFAULT_RETRY_COUNT   RC retransmissions before the QP errors out
+//	MV2_DEFAULT_TIME_OUT      RC retry timeout exponent (4.096us * 2^v)
 //
 // Values accept optional K/M suffixes (binary units). Unknown MV2_*
 // variables are ignored, like the real library. The env map is typically
@@ -51,6 +53,13 @@ func OptionsFromEnv(base Options, env map[string]string) (Options, error) {
 			}
 		case "MV2_USE_HIERARCHICAL_COLL":
 			opts.HierarchicalCollectives, err = parseBool(val)
+		case "MV2_DEFAULT_RETRY_COUNT":
+			opts.Tunables.RetryCount, err = strconv.Atoi(strings.TrimSpace(val))
+		case "MV2_DEFAULT_TIME_OUT":
+			var exp int
+			if exp, err = strconv.Atoi(strings.TrimSpace(val)); err == nil {
+				opts.Tunables.RetryTimeout = core.RetryTimeoutFromExponent(exp)
+			}
 		default:
 			// Unknown MV2_* variables are accepted silently.
 		}

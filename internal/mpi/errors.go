@@ -1,0 +1,99 @@
+package mpi
+
+import (
+	"fmt"
+
+	"cmpi/internal/fault"
+	"cmpi/internal/ib"
+	"cmpi/internal/sim"
+)
+
+// ErrorHandler selects what the runtime does when a communication channel
+// fails mid-job, mirroring the two predefined MPI error handlers.
+type ErrorHandler int
+
+const (
+	// ErrorsAreFatal (MPI_ERRORS_ARE_FATAL, the MPI default): the first
+	// channel failure aborts the whole job; World.Run returns the aggregated
+	// per-rank errors.
+	ErrorsAreFatal ErrorHandler = iota
+	// ErrorsReturn (MPI_ERRORS_RETURN): a channel failure fails the affected
+	// requests (Request.Err reports the cause) and the rank keeps running, so
+	// the application can degrade or shut down cleanly. Collectives over a
+	// failed channel are undefined, as in real MPI; ranks that keep waiting
+	// on a dead peer surface as a deadlock report joined into Run's error.
+	ErrorsReturn
+)
+
+// String names the handler for diagnostics.
+func (h ErrorHandler) String() string {
+	if h == ErrorsReturn {
+		return "errors-return"
+	}
+	return "errors-are-fatal"
+}
+
+// RankError wraps a failure with the identity of the rank it occurred on and
+// the virtual time it was detected, so World.Run's aggregated error names
+// every casualty.
+type RankError struct {
+	// Rank is the failed rank.
+	Rank int
+	// At is the virtual time of the failure.
+	At sim.Time
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error formats the failure.
+func (e *RankError) Error() string {
+	return fmt.Sprintf("rank %d at %v: %v", e.Rank, e.At, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is/As.
+func (e *RankError) Unwrap() error { return e.Err }
+
+// ChannelError reports that the HCA channel to a peer broke: the RC
+// connection exhausted its retransmission budget (locally or at the remote
+// end) and every operation bound to it completed with an error status.
+type ChannelError struct {
+	// Peer is the rank at the other end of the broken connection.
+	Peer int
+	// Status is the completion status that reported the break.
+	Status ib.WCStatus
+	// Retries is how many retransmissions were spent before giving up
+	// (nonzero only on the end that exhausted its budget).
+	Retries int
+}
+
+// Error formats the failure.
+func (e *ChannelError) Error() string {
+	return fmt.Sprintf("HCA channel to rank %d broken: %v after %d retries", e.Peer, e.Status, e.Retries)
+}
+
+// Unwrap exposes the injected-fault sentinel: connections only break under
+// fault injection, never from the model itself.
+func (e *ChannelError) Unwrap() error { return fault.ErrInjected }
+
+// CrashError reports a rank killed by a RankCrash fault event.
+type CrashError struct {
+	// Rank is the victim.
+	Rank int
+	// At is the virtual time of death.
+	At sim.Time
+}
+
+// Error formats the failure.
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("rank %d crashed at %v", e.Rank, e.At)
+}
+
+// Unwrap exposes the injected-fault sentinel.
+func (e *CrashError) Unwrap() error { return fault.ErrInjected }
+
+// crashAbort unwinds a crashed rank's body back to World.Run's wrapper. It
+// deliberately is not engineAbort: a crash kills one rank, not (directly)
+// the simulation.
+type crashAbort struct {
+	err *CrashError
+}

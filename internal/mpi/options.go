@@ -15,6 +15,7 @@ import (
 	"io"
 
 	"cmpi/internal/core"
+	"cmpi/internal/fault"
 	"cmpi/internal/perf"
 )
 
@@ -43,6 +44,14 @@ type Options struct {
 	// deterministic virtual-time order — a lightweight message tracer for
 	// debugging channel selection.
 	Trace io.Writer
+	// FaultPlan, when non-nil, is a deterministic schedule of injected
+	// faults (link flaps, send drops, attach failures, crashes, ...) that
+	// the substrates consult in virtual time. Identical plans over identical
+	// jobs produce identical simulated outcomes.
+	FaultPlan *fault.Plan
+	// ErrHandler selects the job's reaction to channel failures under fault
+	// injection. The zero value is ErrorsAreFatal, the MPI default.
+	ErrHandler ErrorHandler
 }
 
 // DefaultOptions is the paper's proposed configuration: locality-aware with

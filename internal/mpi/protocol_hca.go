@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"encoding/binary"
+	"sort"
 
 	"cmpi/internal/core"
 	"cmpi/internal/ib"
@@ -88,6 +89,13 @@ func (r *Rank) hcaRndvSend(req *Request) {
 
 // handleCQE dispatches one completion from the rank's CQ.
 func (r *Rank) handleCQE(cqe ib.CQE) {
+	if r.prof != nil && cqe.Retries > 0 {
+		r.prof.Faults.Retransmits += uint64(cqe.Retries)
+	}
+	if cqe.Status != ib.WCSuccess {
+		r.handleChannelError(cqe)
+		return
+	}
 	switch cqe.Op {
 	case ib.OpRecv:
 		r.handleHCAMessage(parseHdr(cqe.Buf))
@@ -124,6 +132,74 @@ func (r *Rank) handleCQE(cqe ib.CQE) {
 		}
 	case ib.OpSend:
 		// Eager bounce buffers were copied at post time; nothing to do.
+	}
+}
+
+// handleChannelError reacts to an error completion: the RC connection to one
+// peer is gone. Under ErrorsAreFatal the rank (and with it the job) aborts
+// with a typed *RankError wrapping the *ChannelError. Under ErrorsReturn
+// every in-flight operation bound to the dead channel is completed with the
+// error — rendezvous on either side, posted receives naming the peer, and
+// pending RDMA work requests — so no caller blocks forever.
+func (r *Rank) handleChannelError(cqe ib.CQE) {
+	peer, known := r.w.qpRemote[cqe.QP]
+	if !known {
+		r.p.Fatalf("error completion %v on unknown QP %d", cqe.Status, cqe.QP.QPN())
+	}
+	ce := &ChannelError{Peer: peer, Status: cqe.Status, Retries: cqe.Retries}
+	if r.prof != nil && cqe.Status != ib.WCFlushed {
+		r.prof.Faults.RetryExhausted++
+	}
+	if r.w.Opts.ErrHandler == ErrorsAreFatal {
+		r.w.failRank(r, ce) // does not return
+	}
+	if r.deadPeers == nil {
+		r.deadPeers = make(map[int]bool)
+	}
+	first := !r.deadPeers[peer]
+	r.deadPeers[peer] = true
+
+	// Fail this rank's side of every rendezvous crossing the dead channel.
+	// The far end cleans up its own side when its error CQE arrives. Map
+	// iteration is unordered, so collect and sort ids for determinism.
+	var ids []uint64
+	for id, st := range r.w.rndv {
+		if st.sreq != nil && st.sreq.r == r && st.sreq.peer == peer {
+			ids = append(ids, id)
+		} else if st.rreq != nil && st.rreq.r == r && st.rreq.env != nil && st.rreq.env.src == peer {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		st := r.w.rndv[id]
+		if st.sreq != nil && st.sreq.r == r {
+			r.failRequest(st.sreq, ce)
+			st.sreq = nil
+		} else {
+			r.failRequest(st.rreq, ce)
+			st.rreq = nil
+		}
+	}
+	// Pending RDMA work requests on the pair flush individually; the wrid
+	// routing for a specific failed WRID still resolves here.
+	if ref := r.wridOps[cqe.WRID]; ref != nil && cqe.WRID != 0 {
+		delete(r.wridOps, cqe.WRID)
+		if ref.sreq != nil {
+			r.failRequest(ref.sreq, ce)
+		}
+		if ref.win != nil {
+			ref.win.outstanding--
+		}
+	}
+	// Posted receives naming the dead peer can never match (only on the
+	// first observation; later flush CQEs must not re-sweep).
+	if first {
+		for _, req := range append([]*Request(nil), r.posted...) {
+			if req.peer == peer {
+				r.failRequest(req, ce)
+			}
+		}
 	}
 }
 

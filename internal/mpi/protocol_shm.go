@@ -149,10 +149,25 @@ type sendOp struct {
 	offset      int
 	firstPushed bool
 	state       opState
+	queued      bool // currently listed in the sender's sendQ
 }
 
 // enqueueShmSend queues a ring-bound send and pushes what fits immediately.
+// If the pair's shared ring cannot be attached (injected fault), the send
+// degrades to the HCA channel — the stock path for non-colocated peers.
 func (r *Rank) enqueueShmSend(req *Request, path core.Path) {
+	if _, err := r.ringFor(req.peer); err != nil {
+		r.trace("shm-fallback", "hca", req.peer, req.tag, req.ctx, len(req.sbuf))
+		if r.prof != nil {
+			r.prof.Faults.ShmFallbacks++
+		}
+		if len(req.sbuf) <= r.w.Opts.Tunables.IBAEagerThreshold {
+			r.hcaEagerSend(req)
+		} else {
+			r.hcaRndvSend(req)
+		}
+		return
+	}
 	op := &sendOp{
 		req:  req,
 		dst:  req.peer,
@@ -169,12 +184,21 @@ func (r *Rank) enqueueShmSend(req *Request, path core.Path) {
 	} else {
 		op.state = opRTSPending
 	}
-	r.sendQ[req.peer] = append(r.sendQ[req.peer], op)
-	if !r.dstListed[req.peer] {
-		r.dstListed[req.peer] = true
-		r.sendDsts = append(r.sendDsts, req.peer)
-	}
+	r.enqueueOp(op)
 	r.pushSends(req.peer)
+}
+
+// enqueueOp lists op in the per-destination send queue (idempotent).
+func (r *Rank) enqueueOp(op *sendOp) {
+	if op.queued {
+		return
+	}
+	op.queued = true
+	r.sendQ[op.dst] = append(r.sendQ[op.dst], op)
+	if !r.dstListed[op.dst] {
+		r.dstListed[op.dst] = true
+		r.sendDsts = append(r.sendDsts, op.dst)
+	}
 }
 
 // pushSends advances the per-destination send queue. First packets are
@@ -186,7 +210,12 @@ func (r *Rank) pushSends(dst int) bool {
 	if len(q) == 0 {
 		return false
 	}
-	ring := r.ringFor(dst)
+	ring, err := r.ringFor(dst)
+	if err != nil {
+		// Queued ops imply the ring attached at enqueue time; it cannot
+		// disappear afterwards.
+		r.p.Fatalf("shm send queue to %d with no ring: %v", dst, err)
+	}
 	d := ring.out(r.rank)
 	adv := false
 	for _, op := range q {
@@ -197,10 +226,13 @@ func (r *Rank) pushSends(dst int) bool {
 			break // later firsts must not overtake this one
 		}
 	}
-	// Compact: drop ops that need no further ring pushes.
+	// Compact: drop ops that need no further ring pushes. A CMA rendezvous
+	// op waiting for its FIN leaves the queue here and re-enters through
+	// enqueueOp if the receiver degrades it to SHM streaming.
 	keep := q[:0]
 	for _, op := range q {
 		if op.state == opDone || op.state == opAwaitFIN {
+			op.queued = false
 			continue
 		}
 		keep = append(keep, op)
@@ -307,9 +339,13 @@ func (r *Rank) handleShmPacket(ring *shmRing, pkt *shmPacket) {
 		r.acceptFrag(env, pkt.payload)
 
 	case pktCTS:
-		// We are the original sender: start streaming the payload.
+		// We are the original sender: start streaming the payload. The op
+		// may have left the send queue already (a CMA rendezvous parked in
+		// opAwaitFIN that the receiver degraded to SHM streaming), so
+		// re-list it before pushing.
 		op := pkt.sop
 		op.state = opStream
+		r.enqueueOp(op)
 		r.pushSends(op.dst)
 
 	case pktFIN:
@@ -347,6 +383,22 @@ func (r *Rank) acceptFrag(env *envelope, payload []byte) {
 // process_vm_readv call, then releases the sender with a FIN.
 func (r *Rank) performCMARead(env *envelope, req *Request) {
 	prm := &r.w.Opts.Params
+	ps := r.w.pair(r.rank, env.src)
+	if ps.cmaDead || r.w.inj.CMAFails(r.env.Host.Index, r.p.Now()) {
+		// Graceful degradation: process_vm_readv failed, so pull the payload
+		// through the shared ring instead (rendezvous streaming, the UseCMA=0
+		// path). The CTS flips the parked sender from opAwaitFIN to
+		// streaming; future transfers on this pair skip CMA entirely.
+		r.trace("cma-fallback", "shm", env.src, env.tag, env.ctx, env.size)
+		if r.prof != nil {
+			r.prof.Faults.CMAFallbacks++
+		}
+		ps.cmaDead = true
+		env.path = core.PathSHMRndv
+		env.sop.path = core.PathSHMRndv
+		r.sendCTS(env)
+		return
+	}
 	cs := r.crossSocket(env.src)
 	senderEnv := r.w.Deploy.Placements[env.src].Env
 	r.p.Advance(prm.CMACopy(env.size, cs) + r.containerOverhead())
@@ -366,7 +418,11 @@ func (r *Rank) sendCTS(env *envelope) {
 
 // pushControl sends a zero-footprint control packet to peer.
 func (r *Rank) pushControl(peer int, pkt *shmPacket) {
-	ring := r.ringFor(peer)
+	ring, err := r.ringFor(peer)
+	if err != nil {
+		// Control packets answer data that arrived on this very ring.
+		r.p.Fatalf("control packet %d->%d with no ring: %v", r.rank, peer, err)
+	}
 	d := ring.out(r.rank)
 	r.p.Advance(r.w.Opts.Params.ShmPostOverhead)
 	if !d.tryPush(r, pkt) {

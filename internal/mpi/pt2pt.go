@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"cmpi/internal/core"
+	"cmpi/internal/ib"
 )
 
 // Status describes a completed receive.
@@ -27,10 +28,32 @@ type Request struct {
 	status Status
 	op     *sendOp
 	env    *envelope
+	err    error
 }
 
 // Done reports completion without progressing the engine (see Test).
 func (req *Request) Done() bool { return req.done }
+
+// Err reports why the request failed, or nil. Failed requests count as done
+// (waits return), mirroring MPI_ERRORS_RETURN semantics where the error code
+// travels with the completed operation.
+func (req *Request) Err() error { return req.err }
+
+// failRequest completes req with an error so blocked waiters return. A
+// pending posted receive is withdrawn from the match list.
+func (r *Rank) failRequest(req *Request, cause error) {
+	if req.done {
+		return
+	}
+	req.err = cause
+	req.done = true
+	for i, pr := range r.posted {
+		if pr == req {
+			r.posted = append(r.posted[:i], r.posted[i+1:]...)
+			break
+		}
+	}
+}
 
 // streamKey routes in-flight fragments to their message.
 type streamKey struct {
@@ -181,6 +204,12 @@ func (r *Rank) isendCtx(dst, tag, ctx int, data []byte) *Request {
 		r.selfSend(req)
 		return req
 	}
+	if r.deadPeers[dst] {
+		// The HCA channel to dst already broke under ErrorsReturn: fail fast
+		// instead of posting into a flushed connection.
+		r.failRequest(req, &ChannelError{Peer: dst, Status: ib.WCFlushed})
+		return req
+	}
 	path := r.pathFor(dst, len(data))
 	r.trace("send", path.String(), dst, tag, ctx, len(data))
 	switch path {
@@ -214,6 +243,9 @@ func (r *Rank) irecvCtx(src, tag, ctx int, buf []byte) *Request {
 	req := &Request{r: r, peer: src, tag: tag, ctx: ctx, rbuf: buf}
 	if env := r.matchUnexpected(src, tag, ctx); env != nil {
 		r.bindEnvelope(env, req)
+	} else if src != AnySource && r.deadPeers[src] {
+		// Nothing more can ever arrive from a dead peer.
+		r.failRequest(req, &ChannelError{Peer: src, Status: ib.WCFlushed})
 	} else {
 		r.posted = append(r.posted, req)
 	}

@@ -1,10 +1,12 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 
 	"cmpi/internal/cluster"
 	"cmpi/internal/core"
+	"cmpi/internal/fault"
 	"cmpi/internal/ib"
 	"cmpi/internal/profile"
 	"cmpi/internal/sim"
@@ -44,6 +46,11 @@ type Rank struct {
 	nextWrid   uint64
 	collSeq    int
 	localPairs []*pairShared
+
+	// fault state
+	hasCrash  bool
+	crashAt   sim.Time     // scheduled death (valid when hasCrash)
+	deadPeers map[int]bool // peers behind a broken HCA channel
 
 	prof *profile.RankProfile
 }
@@ -88,9 +95,20 @@ func (r *Rank) Now() sim.Time { return r.p.Now() }
 func (r *Rank) Hostname() string { return r.env.Hostname() }
 
 // Compute charges units of local work to the virtual clock (the workload's
-// computation model).
+// computation model). Straggler fault windows stretch the span.
 func (r *Rank) Compute(units float64) {
-	r.p.Advance(r.w.Opts.Params.Compute(units))
+	d := r.w.inj.Stretch(r.rank, r.p.Now(), r.w.Opts.Params.Compute(units))
+	r.p.Advance(d)
+	r.faultCheck()
+}
+
+// faultCheck fires a scheduled crash once the rank's clock passes its death
+// time, unwinding the body via crashAbort.
+func (r *Rank) faultCheck() {
+	if r.hasCrash && r.p.Now() >= r.crashAt {
+		r.hasCrash = false
+		panic(crashAbort{err: &CrashError{Rank: r.rank, At: r.p.Now()}})
+	}
 }
 
 // Abort terminates the whole job with a formatted error (MPI_Abort).
@@ -130,8 +148,20 @@ func (r *Rank) init() error {
 		var err error
 		det, err = core.NewDetector(r.w.shm, r.w.jobID, r.env, r.rank, r.size)
 		if err != nil {
-			return err
+			if !errors.Is(err, fault.ErrInjected) {
+				return err
+			}
+			// Graceful degradation: the detector segment cannot be attached,
+			// so fall back to hostname-based locality for this rank. Traffic
+			// that would have been rescheduled onto SHM/CMA stays on the HCA
+			// loopback — slower, but correct.
+			det = nil
+			if r.prof != nil {
+				r.prof.Faults.DetectorFallbacks++
+			}
 		}
+	}
+	if det != nil {
 		r.p.Advance(p.ShmAttachOverhead)
 		if r.w.Opts.LockedDetector {
 			// Ablation: a mutex-protected list serializes co-resident
@@ -202,9 +232,23 @@ func (r *Rank) finalizeCheck() {
 }
 
 // pathFor applies the paper's channel selection (Fig. 5) for a message of
-// the given size to peer.
+// the given size to peer, then overrides it with any degradation state the
+// pair accumulated under fault injection: a dead ring forces the HCA
+// channel, a dead CMA channel forces SHM-staged rendezvous.
 func (r *Rank) pathFor(peer, size int) core.Path {
-	return core.SelectPath(r.w.Opts.Mode, r.w.Opts.Tunables, r.caps[peer], size)
+	path := core.SelectPath(r.w.Opts.Mode, r.w.Opts.Tunables, r.caps[peer], size)
+	if ps, ok := r.w.pairs[keyFor(r.rank, peer)]; ok {
+		switch {
+		case ps.shmDead() && path != core.PathHCAEager && path != core.PathHCARndv:
+			if size <= r.w.Opts.Tunables.IBAEagerThreshold {
+				return core.PathHCAEager
+			}
+			return core.PathHCARndv
+		case ps.cmaDead && path == core.PathCMARndv:
+			return core.PathSHMRndv
+		}
+	}
+	return path
 }
 
 // crossSocket reports whether r and peer are pinned to different sockets
@@ -285,9 +329,11 @@ func (r *Rank) progress() bool {
 }
 
 // waitUntil drives progress until cond holds, parking when idle. Every
-// external state change that could satisfy cond wakes the rank.
+// external state change that could satisfy cond wakes the rank — including
+// the wake scheduled for the rank's own planned crash.
 func (r *Rank) waitUntil(cond func() bool) {
 	for {
+		r.faultCheck()
 		if cond() {
 			return
 		}

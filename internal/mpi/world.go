@@ -1,9 +1,11 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 
 	"cmpi/internal/cluster"
+	"cmpi/internal/fault"
 	"cmpi/internal/ib"
 	"cmpi/internal/profile"
 	"cmpi/internal/shmem"
@@ -27,6 +29,15 @@ type World struct {
 	fabric *ib.Fabric
 	ranks  []*Rank
 	jobID  string
+
+	// inj is the job's fault injector (nil without a FaultPlan). All query
+	// methods tolerate nil.
+	inj *fault.Injector
+	// rankErrs records each rank's failure (as *RankError) for aggregation.
+	rankErrs []error
+	// qpRemote maps each QP back to the rank at its far end, for routing
+	// error completions to a ChannelError naming the peer.
+	qpRemote map[*ib.QP]int
 
 	// out-of-band PMI barrier state
 	pmiGen     int
@@ -68,8 +79,25 @@ func NewWorld(d *cluster.Deployment, opts Options) (*World, error) {
 		ctxCounter: worldCtx,
 		bodyStart:  make([]sim.Time, d.Size()),
 		bodyEnd:    make([]sim.Time, d.Size()),
+		rankErrs:   make([]error, d.Size()),
+		qpRemote:   make(map[*ib.QP]int),
 	}
 	w.fabric = ib.NewFabric(w.Eng, &w.Opts.Params, d.Cluster)
+	inj, err := fault.NewInjector(opts.FaultPlan, d.Cluster.Spec.Hosts, d.Size())
+	if err != nil {
+		return nil, err
+	}
+	w.inj = inj
+	if inj != nil {
+		w.fabric.SetFaults(inj, opts.Tunables.RetryCount, opts.Tunables.RetryTimeout)
+		w.shm.SetAttachFault(func(env *cluster.Container, name string) error {
+			host := env.Host.Index
+			if inj.ShmAttachFails(host, name, w.Eng.Now()) {
+				return &fault.AttachError{Name: name, Host: host}
+			}
+			return nil
+		})
+	}
 	if opts.Profile {
 		w.Prof = profile.New(d.Size())
 	}
@@ -83,7 +111,9 @@ func NewWorld(d *cluster.Deployment, opts Options) (*World, error) {
 func (w *World) Size() int { return len(w.ranks) }
 
 // Run executes body on every rank and drives the simulation to completion.
-// The returned error is the first rank failure, a deadlock report, or nil.
+// The returned error aggregates every recorded rank failure (each wrapped in
+// a *RankError naming its rank) plus any engine-level failure such as a
+// deadlock report, joined with errors.Join; nil when all ranks succeed.
 // A World is single-shot: a second Run returns an error.
 func (w *World) Run(body func(r *Rank) error) error {
 	if w.ran {
@@ -94,22 +124,89 @@ func (w *World) Run(body func(r *Rank) error) error {
 		r := w.ranks[i]
 		w.Eng.Go(fmt.Sprintf("rank%d", r.rank), func(p *sim.Proc) {
 			r.p = p
+			if at, ok := w.inj.CrashTime(r.rank); ok {
+				r.hasCrash, r.crashAt = true, at
+				// The victim may be parked at its death time; schedule a wake
+				// so the crash fires at the planned instant, not whenever the
+				// rank happens to run next.
+				w.Eng.At(at, func() { p.UnparkAt(at) })
+			}
 			if err := r.init(); err != nil {
+				// Init failures are always fatal: the job never formed, so
+				// there is nothing to degrade to (matching MPI_Init semantics,
+				// where error handlers attach only after init returns).
 				p.Fatalf("MPI_Init: %v", err)
 			}
 			w.pmiBarrier(r)
 			w.bodyStart[r.rank] = p.Now()
-			if err := body(r); err != nil {
-				p.Fatalf("%v", err)
-			}
+			err := w.runBody(r, body)
 			w.bodyEnd[r.rank] = p.Now()
 			if w.Prof != nil {
 				w.Prof.Ranks[r.rank].AppTime = w.bodyEnd[r.rank] - w.bodyStart[r.rank]
 			}
+			if err != nil {
+				w.failRank(r, err)
+				return
+			}
 			r.finalizeCheck()
 		})
 	}
-	return w.Eng.Run()
+	engErr := w.Eng.Run()
+	var errs []error
+	for _, re := range w.rankErrs {
+		if re != nil {
+			errs = append(errs, re)
+		}
+	}
+	if engErr != nil {
+		// Under ErrorsAreFatal the engine error IS the first recorded rank
+		// error; don't report it twice.
+		dup := false
+		for _, re := range errs {
+			if errors.Is(engErr, re) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			errs = append(errs, engErr)
+		}
+	}
+	// A sole failure is returned as-is so callers can type-assert on it
+	// (errors.Join would wrap even a single error).
+	if len(errs) == 1 {
+		return errs[0]
+	}
+	return errors.Join(errs...)
+}
+
+// runBody executes the user body, converting a crash unwind into the body's
+// error return.
+func (w *World) runBody(r *Rank, body func(r *Rank) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			ca, ok := v.(crashAbort)
+			if !ok {
+				panic(v)
+			}
+			err = ca.err
+		}
+	}()
+	return body(r)
+}
+
+// failRank records a rank failure. Under ErrorsAreFatal it aborts the whole
+// simulation with the typed error (first failure wins, as in MPI_Abort);
+// under ErrorsReturn the rank simply stops and peers either complete, observe
+// failed requests, or surface in the engine's deadlock report.
+func (w *World) failRank(r *Rank, cause error) {
+	re := &RankError{Rank: r.rank, At: r.p.Now(), Err: cause}
+	if w.rankErrs[r.rank] == nil {
+		w.rankErrs[r.rank] = re
+	}
+	if w.Opts.ErrHandler == ErrorsAreFatal {
+		r.p.Fail(re)
+	}
 }
 
 // MaxBodyTime is the longest per-rank span between the post-init barrier
@@ -172,7 +269,17 @@ type pairShared struct {
 	lo, hi int
 	ring   *shmRing
 	qps    [2]*ib.QP // [0] owned by lo, [1] owned by hi
+
+	// shmErr is the sticky ring-attach failure: once an attach fails, the
+	// pair's SHM/CMA channels are dead and traffic degrades to the HCA.
+	shmErr error
+	// cmaDead marks the pair's CMA channel failed; rendezvous transfers
+	// degrade to SHM streaming.
+	cmaDead bool
 }
+
+// shmDead reports whether the pair's shared-memory ring is unusable.
+func (ps *pairShared) shmDead() bool { return ps.shmErr != nil }
 
 // pair returns (creating if needed) the shared state for a rank pair.
 func (w *World) pair(a, b int) *pairShared {
@@ -210,6 +317,8 @@ func (r *Rank) qpFor(peer int) *ib.QP {
 		if err := ib.Connect(qa, qb); err != nil {
 			r.p.Fatalf("connect: %v", err)
 		}
+		r.w.qpRemote[qa] = peer
+		r.w.qpRemote[qb] = r.rank
 		if r.rank == ps.lo {
 			ps.qps[0], ps.qps[1] = qa, qb
 		} else {
@@ -221,16 +330,22 @@ func (r *Rank) qpFor(peer int) *ib.QP {
 }
 
 // ringFor returns r's view of the shared-memory ring to peer, creating and
-// attaching it on demand. It must only be called for pairs with a shared
-// IPC namespace; segment attachment failure is a runtime bug by then.
-func (r *Rank) ringFor(peer int) *shmRing {
+// attaching it on demand. It is only called for pairs with a shared IPC
+// namespace, so a failed attach is either an injected fault — the error is
+// returned (sticky: the pair's SHM channel stays dead) and the caller
+// degrades to the HCA channel — or a runtime bug surfaced to the caller.
+func (r *Rank) ringFor(peer int) (*shmRing, error) {
 	ps := r.w.pair(r.rank, peer)
 	if ps.ring == nil {
+		if ps.shmErr != nil {
+			return nil, ps.shmErr
+		}
 		name := fmt.Sprintf("cmpi.ring.%s.%d-%d", r.w.jobID, ps.lo, ps.hi)
 		// Two directions, each with a full SMPI_LENGTH_QUEUE of capacity.
 		seg, err := r.w.shm.CreateOrAttach(r.env, name, 2*r.w.Opts.Tunables.SMPLengthQueue)
 		if err != nil {
-			r.p.Fatalf("shm ring %d<->%d: %v", ps.lo, ps.hi, err)
+			ps.shmErr = fmt.Errorf("shm ring %d<->%d: %w", ps.lo, ps.hi, err)
+			return nil, ps.shmErr
 		}
 		// Publish the ring BEFORE charging attach time: Advance may yield,
 		// and the peer must not race the nil check into a second ring.
@@ -239,7 +354,7 @@ func (r *Rank) ringFor(peer int) *shmRing {
 		r.w.ranks[ps.hi].localPairs = append(r.w.ranks[ps.hi].localPairs, ps)
 		r.p.Advance(r.w.Opts.Params.ShmAttachOverhead)
 	}
-	return ps.ring
+	return ps.ring, nil
 }
 
 // newMsgID mints a job-unique rendezvous identifier.

@@ -33,6 +33,40 @@ func (c *ChannelStats) Merge(other *ChannelStats) {
 	}
 }
 
+// FaultStats counts a rank's resilience activity under fault injection:
+// transport retries it observed and channel fallbacks it performed.
+type FaultStats struct {
+	// Retransmits is the number of RC retransmissions observed on this
+	// rank's completions.
+	Retransmits uint64
+	// RetryExhausted counts connections this rank saw break after running
+	// out of retries.
+	RetryExhausted uint64
+	// ShmFallbacks counts sends rerouted to the HCA channel because the
+	// shared-memory ring could not be attached.
+	ShmFallbacks uint64
+	// CMAFallbacks counts rendezvous transfers degraded from the CMA
+	// single-copy to SHM streaming after a process_vm_readv failure.
+	CMAFallbacks uint64
+	// DetectorFallbacks is 1 when the Container Locality Detector could not
+	// attach its segment and the rank degraded to hostname-based locality.
+	DetectorFallbacks uint64
+}
+
+// Merge accumulates other into f.
+func (f *FaultStats) Merge(other *FaultStats) {
+	f.Retransmits += other.Retransmits
+	f.RetryExhausted += other.RetryExhausted
+	f.ShmFallbacks += other.ShmFallbacks
+	f.CMAFallbacks += other.CMAFallbacks
+	f.DetectorFallbacks += other.DetectorFallbacks
+}
+
+// Total is the sum of all counters (nonzero iff any fault handling ran).
+func (f FaultStats) Total() uint64 {
+	return f.Retransmits + f.RetryExhausted + f.ShmFallbacks + f.CMAFallbacks + f.DetectorFallbacks
+}
+
 // RankProfile is one rank's profile.
 type RankProfile struct {
 	// Rank is the global rank.
@@ -46,6 +80,8 @@ type RankProfile struct {
 	AppTime sim.Time
 	// Channels counts transfer ops/bytes initiated by this rank.
 	Channels ChannelStats
+	// Faults counts retries and channel fallbacks this rank performed.
+	Faults FaultStats
 
 	depth     int
 	enteredAt sim.Time
@@ -105,6 +141,15 @@ func (p *Profile) TotalChannels() ChannelStats {
 	var total ChannelStats
 	for _, rp := range p.Ranks {
 		total.Merge(&rp.Channels)
+	}
+	return total
+}
+
+// TotalFaults sums fault-handling stats over all ranks.
+func (p *Profile) TotalFaults() FaultStats {
+	var total FaultStats
+	for _, rp := range p.Ranks {
+		total.Merge(&rp.Faults)
 	}
 	return total
 }

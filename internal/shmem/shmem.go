@@ -28,15 +28,25 @@ type segKey struct {
 	name string
 }
 
+// AttachFaultHook lets a fault injector veto segment attaches. It receives
+// the attaching environment and the segment name and returns a non-nil error
+// to fail the attach.
+type AttachFaultHook func(env *cluster.Container, name string) error
+
 // Registry is the kernel-side table of shared segments, one per simulation.
 type Registry struct {
-	segs map[segKey]*Segment
+	segs        map[segKey]*Segment
+	attachFault AttachFaultHook
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{segs: make(map[segKey]*Segment)}
 }
+
+// SetAttachFault installs (or, with nil, removes) a fault hook consulted by
+// every CreateOrAttach before it touches the segment table.
+func (r *Registry) SetAttachFault(h AttachFaultHook) { r.attachFault = h }
 
 // ErrWrongNamespaceKind is returned when attaching via a non-IPC namespace.
 var ErrWrongNamespaceKind = fmt.Errorf("shmem: namespace is not an IPC namespace")
@@ -48,6 +58,11 @@ var ErrWrongNamespaceKind = fmt.Errorf("shmem: namespace is not an IPC namespace
 func (r *Registry) CreateOrAttach(env *cluster.Container, name string, size int) (*Segment, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("shmem: segment %q: size %d", name, size)
+	}
+	if r.attachFault != nil {
+		if err := r.attachFault(env, name); err != nil {
+			return nil, err
+		}
 	}
 	ns := env.Namespace(cluster.IPC)
 	if ns.Kind != cluster.IPC {

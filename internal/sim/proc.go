@@ -147,3 +147,10 @@ func (p *Proc) UnparkAt(at Time) {
 func (p *Proc) Fatalf(format string, args ...any) {
 	panic(engineAbort{err: fmt.Errorf("proc %q at %v: %s", p.name, p.now, fmt.Sprintf(format, args...))})
 }
+
+// Fail aborts the whole simulation with err exactly as given, preserving
+// its concrete type for errors.Is/As inspection by Engine.Run's caller
+// (unlike Fatalf, which flattens to a formatted string). It does not return.
+func (p *Proc) Fail(err error) {
+	panic(engineAbort{err: err})
+}
