@@ -11,6 +11,7 @@ package cmpi_test
 //	go test -bench=. -benchmem -benchtime=1x
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -387,4 +388,17 @@ func BenchmarkExtScaling(b *testing.B) {
 		last := t.Rows[len(t.Rows)-1]
 		return cellF(b, last[4]), "improvement_pct_largest"
 	})
+}
+
+// BenchmarkSweepWorkers regenerates a sweep-heavy figure with the
+// experiment worker pool pinned at 1 and 4 workers: the ratio of the two
+// times is the parallel-sweep speedup (tables are byte-identical either way).
+func BenchmarkSweepWorkers(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
+			experiments.SetWorkers(workers)
+			defer experiments.SetWorkers(0)
+			runExperiment(b, "fig3bc", nil)
+		})
+	}
 }

@@ -7,15 +7,21 @@
 //	repro -fig fig8     # one experiment
 //	repro -full         # the paper's 16-host/256-rank geometry
 //	repro -list         # list experiment ids
+//	repro -j 4          # pin the sweep worker pool (default: GOMAXPROCS)
+//	repro -bench-out BENCH_repro.json  # host-time benchmark snapshot
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"cmpi/internal/cluster"
 	"cmpi/internal/experiments"
+	"cmpi/internal/mpi"
 )
 
 func main() {
@@ -23,6 +29,8 @@ func main() {
 	full := flag.Bool("full", false, "run at the paper's full deployment geometry (slower)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text (for plotting)")
+	workers := flag.Int("j", 0, "experiment sweep workers; 0 = CMPI_SWEEP_WORKERS env or GOMAXPROCS (tables are byte-identical for any value)")
+	benchOut := flag.String("bench-out", "", "write a host-time benchmark snapshot (JSON) to this file and exit")
 	flag.Parse()
 
 	if *list {
@@ -31,6 +39,16 @@ func main() {
 		}
 		return
 	}
+	experiments.SetWorkers(*workers)
+
+	if *benchOut != "" {
+		if err := writeBenchSnapshot(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-out: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	scale := experiments.Quick
 	if *full {
 		scale = experiments.Full
@@ -65,4 +83,114 @@ func main() {
 		os.Exit(2)
 	}
 	run(e)
+}
+
+// benchSnapshot is the committed BENCH_repro.json format: host-time numbers
+// for the full Quick-scale table regeneration (sequential vs parallel sweep)
+// and the steady-state pt2pt hot path.
+type benchSnapshot struct {
+	GOOS           string  `json:"goos"`
+	GOARCH         string  `json:"goarch"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	SweepWorkers   int     `json:"sweep_workers"`
+	SequentialSec  float64 `json:"full_table_sequential_sec"`
+	ParallelSec    float64 `json:"full_table_parallel_sec"`
+	Speedup        float64 `json:"full_table_speedup"`
+	PingPongNsMsg  float64 `json:"shm_pingpong_ns_per_msg"`
+	PingPongAllocs float64 `json:"shm_pingpong_allocs_per_msg"`
+}
+
+// regenAll runs every experiment at Quick scale and returns the wall time.
+func regenAll() (float64, error) {
+	start := time.Now()
+	for _, e := range experiments.All() {
+		if _, err := e.Run(experiments.Quick); err != nil {
+			return 0, fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// measurePingPong runs rounds SHM eager round trips in one world and returns
+// host nanoseconds and allocations per message (two messages per round trip).
+func measurePingPong(rounds int) (nsPerMsg, allocsPerMsg float64, err error) {
+	spec := cluster.Spec{Hosts: 1, SocketsPerHost: 2, CoresPerSocket: 12, HCAsPerHost: 1}
+	d, err := cluster.Containers(cluster.MustNew(spec), 1, 2, cluster.PaperScenarioOpts())
+	if err != nil {
+		return 0, 0, err
+	}
+	opts := mpi.DefaultOptions()
+	w, err := mpi.NewWorld(d, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err = w.Run(func(r *mpi.Rank) error {
+		buf := make([]byte, 512)
+		for i := 0; i < rounds; i++ {
+			if r.Rank() == 0 {
+				r.Send(1, 0, buf)
+				r.Recv(1, 1, buf)
+			} else {
+				r.Recv(0, 0, buf)
+				r.Send(0, 1, buf)
+			}
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return 0, 0, err
+	}
+	msgs := float64(2 * rounds)
+	return float64(elapsed.Nanoseconds()) / msgs, float64(after.Mallocs-before.Mallocs) / msgs, nil
+}
+
+func writeBenchSnapshot(path string) error {
+	snap := benchSnapshot{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	// Exercise at least 4 workers even on small hosts so the snapshot always
+	// measures the parallel path; wall-clock gain tracks real core count.
+	snap.SweepWorkers = experiments.Workers()
+	if snap.SweepWorkers < 4 {
+		snap.SweepWorkers = 4
+	}
+	fmt.Fprintln(os.Stderr, "regenerating all tables sequentially (workers=1)...")
+	experiments.SetWorkers(1)
+	seq, err := regenAll()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "  %.1fs; regenerating with %d workers...\n", seq, snap.SweepWorkers)
+	experiments.SetWorkers(snap.SweepWorkers)
+	par, err := regenAll()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "  %.1fs\n", par)
+	snap.SequentialSec, snap.ParallelSec = seq, par
+	if par > 0 {
+		snap.Speedup = seq / par
+	}
+	if snap.PingPongNsMsg, snap.PingPongAllocs, err = measurePingPong(100000); err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %.1fs -> %.1fs (%.2fx), pt2pt %.0f ns/msg, %.3f allocs/msg\n",
+		path, snap.SequentialSec, snap.ParallelSec, snap.Speedup, snap.PingPongNsMsg, snap.PingPongAllocs)
+	return nil
 }

@@ -1,0 +1,107 @@
+package core
+
+import "math/bits"
+
+// Buffer pooling for the per-message hot paths.
+//
+// Every transfer in the simulator used to allocate fresh []byte snapshots —
+// wire headers, eager payload copies, ring fragments — which made the host
+// garbage collector the dominant cost of regenerating the paper's tables.
+// BufPool keeps freed buffers in power-of-two size-class free lists so steady
+// state pt2pt traffic recycles the same handful of buffers.
+//
+// The pool is deliberately lock-free-because-single-threaded: each simulated
+// world is driven by one sequential sim.Engine that resumes at most one
+// process at a time, so a pool owned by a world (or its fabric) is never
+// touched concurrently. Do not share one BufPool across worlds that run on
+// different engines in parallel.
+
+const (
+	// poolMinShift is the smallest pooled class (32 B): below that the
+	// allocation is cheaper than the bookkeeping.
+	poolMinShift = 5
+	// poolMaxShift is the largest pooled class (4 MiB), comfortably above
+	// the biggest OSU sweep message; larger requests fall through to the
+	// allocator.
+	poolMaxShift = 22
+)
+
+// PoolCounters records pool effectiveness for profile.SimStats.
+type PoolCounters struct {
+	// Gets is the number of buffer requests served (pooled classes only).
+	Gets uint64
+	// Hits is the subset served by recycling instead of allocating.
+	Hits uint64
+}
+
+// HitRate is Hits/Gets, or 0 before any request.
+func (c PoolCounters) HitRate() float64 {
+	if c.Gets == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Gets)
+}
+
+// BufPool is a size-classed []byte free list. Get returns a length-n buffer
+// with at least class capacity; Put recycles it. Contents are not zeroed —
+// callers always overwrite before reading, exactly like a real NIC bounce
+// buffer.
+type BufPool struct {
+	classes [poolMaxShift + 1][][]byte
+	ctr     PoolCounters
+}
+
+// classFor maps a byte count to its size-class shift, or -1 if unpooled.
+func classFor(n int) int {
+	if n <= 0 || n > 1<<poolMaxShift {
+		return -1
+	}
+	s := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if s < poolMinShift {
+		s = poolMinShift
+	}
+	return s
+}
+
+// Get returns a []byte of length n, recycled when a buffer of the right
+// class is free.
+func (p *BufPool) Get(n int) []byte {
+	c := classFor(n)
+	if c < 0 {
+		if n <= 0 {
+			return nil
+		}
+		return make([]byte, n)
+	}
+	p.ctr.Gets++
+	if l := p.classes[c]; len(l) > 0 {
+		buf := l[len(l)-1]
+		l[len(l)-1] = nil
+		p.classes[c] = l[:len(l)-1]
+		p.ctr.Hits++
+		return buf[:n]
+	}
+	return make([]byte, n, 1<<c)
+}
+
+// GetCopy returns a pooled copy of src.
+func (p *BufPool) GetCopy(src []byte) []byte {
+	buf := p.Get(len(src))
+	copy(buf, src)
+	return buf
+}
+
+// Put recycles a buffer obtained from Get. Putting nil or a buffer whose
+// capacity is not an exact pooled class (e.g. a subslice) is a safe no-op, so
+// callers on error paths never need to track provenance.
+func (p *BufPool) Put(buf []byte) {
+	c := cap(buf)
+	if c < 1<<poolMinShift || c > 1<<poolMaxShift || c&(c-1) != 0 {
+		return
+	}
+	s := bits.TrailingZeros(uint(c))
+	p.classes[s] = append(p.classes[s], buf[:0])
+}
+
+// Counters returns a snapshot of the pool's hit statistics.
+func (p *BufPool) Counters() PoolCounters { return p.ctr }

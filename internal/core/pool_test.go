@@ -1,0 +1,78 @@
+package core
+
+import "testing"
+
+func TestBufPoolRecycles(t *testing.T) {
+	var p BufPool
+	a := p.Get(100)
+	if len(a) != 100 || cap(a) != 128 {
+		t.Fatalf("Get(100): len=%d cap=%d, want 100/128", len(a), cap(a))
+	}
+	p.Put(a)
+	b := p.Get(65) // same class (128)
+	if len(b) != 65 {
+		t.Fatalf("len = %d", len(b))
+	}
+	if &a[:1][0] != &b[:1][0] {
+		t.Error("second Get did not recycle the freed buffer")
+	}
+	ctr := p.Counters()
+	if ctr.Gets != 2 || ctr.Hits != 1 {
+		t.Errorf("counters = %+v, want Gets=2 Hits=1", ctr)
+	}
+	if got := ctr.HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", got)
+	}
+}
+
+func TestBufPoolEdgeCases(t *testing.T) {
+	var p BufPool
+	if buf := p.Get(0); buf != nil {
+		t.Errorf("Get(0) = %v, want nil", buf)
+	}
+	p.Put(nil) // must not panic
+
+	// Oversized requests are honest allocations, not pooled.
+	big := p.Get(1<<poolMaxShift + 1)
+	if len(big) != 1<<poolMaxShift+1 {
+		t.Fatalf("oversized len = %d", len(big))
+	}
+	p.Put(big) // cap not a pooled class: dropped
+	if ctr := p.Counters(); ctr.Gets != 0 {
+		t.Errorf("oversized request counted as pooled get: %+v", ctr)
+	}
+
+	// Subslices with odd capacities are rejected rather than corrupting a class.
+	buf := p.Get(64)
+	p.Put(buf[3:17])
+	if got := p.Get(14); cap(got) != 32 {
+		t.Errorf("subslice leaked into pool: cap=%d", cap(got))
+	}
+}
+
+func TestBufPoolGetCopy(t *testing.T) {
+	var p BufPool
+	src := []byte("hello, fabric")
+	dst := p.GetCopy(src)
+	if string(dst) != string(src) {
+		t.Errorf("copy = %q", dst)
+	}
+	src[0] = 'X'
+	if dst[0] == 'X' {
+		t.Error("GetCopy aliased its source")
+	}
+}
+
+func TestBufPoolMinClass(t *testing.T) {
+	var p BufPool
+	tiny := p.Get(1)
+	if cap(tiny) != 1<<poolMinShift {
+		t.Errorf("Get(1) cap = %d, want min class %d", cap(tiny), 1<<poolMinShift)
+	}
+	p.Put(tiny)
+	again := p.Get(2)
+	if p.Counters().Hits != 1 {
+		t.Error("tiny buffer not recycled")
+	}
+	_ = again
+}

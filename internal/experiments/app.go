@@ -7,6 +7,7 @@ import (
 	"cmpi/internal/graph500"
 	"cmpi/internal/mpi"
 	"cmpi/internal/npb"
+	"cmpi/internal/profile"
 	"cmpi/internal/sim"
 )
 
@@ -57,16 +58,19 @@ func Figure1(sc Scale) (*Table, error) {
 		Notes: "Paper: native and 1-container are similar; 2 and 4 containers degrade " +
 			"sharply because cross-container traffic falls onto the HCA loopback.",
 	}
-	var native sim.Time
-	for _, s := range fig1Scenarios {
-		_, res, err := runGraph500(s.containers, 16, core.ModeDefault, sc, false)
+	times, err := mapPoints(len(fig1Scenarios), func(i int) (sim.Time, error) {
+		_, res, err := runGraph500(fig1Scenarios[i].containers, 16, core.ModeDefault, sc, false)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.label, err)
+			return 0, fmt.Errorf("%s: %w", fig1Scenarios[i].label, err)
 		}
-		if s.containers == 0 {
-			native = res.MeanBFS
-		}
-		t.AddRow(s.label, fmtF(res.MeanBFS.Millis()), fmt.Sprintf("%.2fx", float64(res.MeanBFS)/float64(native)))
+		return res.MeanBFS, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	native := times[0] // fig1Scenarios[0] is the native scenario
+	for i, s := range fig1Scenarios {
+		t.AddRow(s.label, fmtF(times[i].Millis()), fmt.Sprintf("%.2fx", float64(times[i])/float64(native)))
 	}
 	return t, nil
 }
@@ -81,14 +85,24 @@ func Figure3a(sc Scale) (*Table, error) {
 		Notes: "Paper: communication share grows 77% -> 91% -> 93% with more containers " +
 			"while computation stays ~constant (~17ms).",
 	}
-	for _, s := range fig1Scenarios {
-		w, _, err := runGraph500(s.containers, 16, core.ModeDefault, sc, true)
+	type breakdown struct {
+		comm    float64
+		compute float64
+	}
+	points, err := mapPoints(len(fig1Scenarios), func(i int) (breakdown, error) {
+		w, _, err := runGraph500(fig1Scenarios[i].containers, 16, core.ModeDefault, sc, true)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.label, err)
+			return breakdown{}, fmt.Errorf("%s: %w", fig1Scenarios[i].label, err)
 		}
+		return breakdown{w.Prof.CommFraction(), w.Prof.MeanComputeTime().Millis()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range fig1Scenarios {
 		t.AddRow(s.label,
-			fmt.Sprintf("%.0f%%", w.Prof.CommFraction()*100),
-			fmtF(w.Prof.MeanComputeTime().Millis()))
+			fmt.Sprintf("%.0f%%", points[i].comm*100),
+			fmtF(points[i].compute))
 	}
 	return t, nil
 }
@@ -103,21 +117,20 @@ func TableI(sc Scale) (*Table, error) {
 		Notes: "Paper: native/1-container never touch the HCA; at 2 and 4 containers the " +
 			"HCA column explodes (376,071 and 791,341 in the paper) while CMA/SHM shrink.",
 	}
-	var counts [3][]uint64
-	for _, s := range fig1Scenarios {
-		w, _, err := runGraph500(s.containers, 16, core.ModeDefault, sc, true)
+	totals, err := mapPoints(len(fig1Scenarios), func(i int) (profile.ChannelStats, error) {
+		w, _, err := runGraph500(fig1Scenarios[i].containers, 16, core.ModeDefault, sc, true)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.label, err)
+			return profile.ChannelStats{}, fmt.Errorf("%s: %w", fig1Scenarios[i].label, err)
 		}
-		total := w.Prof.TotalChannels()
-		for ch := 0; ch < 3; ch++ {
-			counts[ch] = append(counts[ch], total.Ops[ch])
-		}
+		return w.Prof.TotalChannels(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for _, ch := range []core.Channel{core.ChannelCMA, core.ChannelSHM, core.ChannelHCA} {
 		row := []string{ch.String()}
 		for i := range fig1Scenarios {
-			row = append(row, fmt.Sprintf("%d", counts[ch][i]))
+			row = append(row, fmt.Sprintf("%d", totals[i].Ops[ch]))
 		}
 		t.AddRow(row...)
 	}
@@ -134,17 +147,25 @@ func Figure11(sc Scale) (*Table, error) {
 		Notes: "Paper: the proposed design keeps BFS time flat across scenarios " +
 			"(near-native, <5% overhead); default degrades with container count.",
 	}
-	for _, s := range fig1Scenarios {
-		_, def, err := runGraph500(s.containers, 16, core.ModeDefault, sc, false)
-		if err != nil {
-			return nil, err
+	// Point i is scenario i/2 under the default (even) or proposed (odd) library.
+	times, err := mapPoints(2*len(fig1Scenarios), func(i int) (sim.Time, error) {
+		mode := core.ModeDefault
+		if i%2 == 1 {
+			mode = core.ModeLocalityAware
 		}
-		_, opt, err := runGraph500(s.containers, 16, core.ModeLocalityAware, sc, false)
+		_, res, err := runGraph500(fig1Scenarios[i/2].containers, 16, mode, sc, false)
 		if err != nil {
-			return nil, err
+			return 0, fmt.Errorf("%s: %w", fig1Scenarios[i/2].label, err)
 		}
-		t.AddRow(s.label, fmtF(def.MeanBFS.Millis()), fmtF(opt.MeanBFS.Millis()),
-			pct(def.MeanBFS.Seconds(), opt.MeanBFS.Seconds()))
+		return res.MeanBFS, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range fig1Scenarios {
+		def, opt := times[2*i], times[2*i+1]
+		t.AddRow(s.label, fmtF(def.Millis()), fmtF(opt.Millis()),
+			pct(def.Seconds(), opt.Seconds()))
 	}
 	return t, nil
 }
@@ -170,49 +191,13 @@ func Figure12(sc Scale) (*Table, error) {
 			"with <=5% (Graph500) and <=9% (NAS) overhead vs native.",
 	}
 
-	// Graph 500.
-	runG := func(mode core.Mode, native bool) (sim.Time, error) {
-		d, err := clusterDeploy(hosts, 4, procs, native)
-		if err != nil {
-			return 0, err
-		}
-		w, err := newWorld(d, mode, false)
-		if err != nil {
-			return 0, err
-		}
-		p := graph500.DefaultParams(gscale)
-		p.Roots = 2
-		p.Validate = false
-		res, err := graph500.Run(w, p)
-		return res.MeanBFS, err
+	type appSpec struct {
+		label string
+		run   func(mode core.Mode, native bool) (sim.Time, error)
 	}
-	gDef, err := runG(core.ModeDefault, false)
-	if err != nil {
-		return nil, fmt.Errorf("graph500 default: %w", err)
-	}
-	gOpt, err := runG(core.ModeLocalityAware, false)
-	if err != nil {
-		return nil, err
-	}
-	gNat, err := runG(core.ModeDefault, true)
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow(fmt.Sprintf("Graph500 (s%d,e16)", gscale),
-		fmtF(gDef.Millis()), fmtF(gOpt.Millis()), fmtF(gNat.Millis()),
-		pct(gDef.Seconds(), gOpt.Seconds()),
-		fmt.Sprintf("%.0f%%", (gOpt.Seconds()-gNat.Seconds())/gNat.Seconds()*100))
-
-	// NAS kernels. MG needs >= 2 rows per rank on the finest grid, which the
-	// 256-rank Full geometry with the class-W grid cannot provide; it runs
-	// at Quick scale only.
-	kernels := []string{"CG", "EP", "FT", "IS"}
-	if sc == Quick {
-		kernels = append(kernels, "MG")
-	}
-	for _, name := range kernels {
-		kernel := npb.Kernels()[name]
-		runK := func(mode core.Mode, native bool) (sim.Time, error) {
+	apps := []appSpec{{
+		label: fmt.Sprintf("Graph500 (s%d,e16)", gscale),
+		run: func(mode core.Mode, native bool) (sim.Time, error) {
 			d, err := clusterDeploy(hosts, 4, procs, native)
 			if err != nil {
 				return 0, err
@@ -221,31 +206,73 @@ func Figure12(sc Scale) (*Table, error) {
 			if err != nil {
 				return 0, err
 			}
-			res, err := kernel(w, class)
-			if err != nil {
-				return 0, err
-			}
-			if !res.Verified {
-				return 0, fmt.Errorf("%s.%c failed verification", name, class)
-			}
-			return res.Time, nil
+			p := graph500.DefaultParams(gscale)
+			p.Roots = 2
+			p.Validate = false
+			res, err := graph500.Run(w, p)
+			return res.MeanBFS, err
+		},
+	}}
+	// NAS kernels. MG needs >= 2 rows per rank on the finest grid, which the
+	// 256-rank Full geometry with the class-W grid cannot provide; it runs
+	// at Quick scale only.
+	kernels := []string{"CG", "EP", "FT", "IS"}
+	if sc == Quick {
+		kernels = append(kernels, "MG")
+	}
+	for _, name := range kernels {
+		name := name
+		kernel := npb.Kernels()[name]
+		apps = append(apps, appSpec{
+			label: fmt.Sprintf("NAS %s.%c", name, class),
+			run: func(mode core.Mode, native bool) (sim.Time, error) {
+				d, err := clusterDeploy(hosts, 4, procs, native)
+				if err != nil {
+					return 0, err
+				}
+				w, err := newWorld(d, mode, false)
+				if err != nil {
+					return 0, err
+				}
+				res, err := kernel(w, class)
+				if err != nil {
+					return 0, err
+				}
+				if !res.Verified {
+					return 0, fmt.Errorf("%s.%c failed verification", name, class)
+				}
+				return res.Time, nil
+			},
+		})
+	}
+
+	// Point i is application i/3 as default (0), proposed (1), or native (2).
+	times, err := mapPoints(3*len(apps), func(i int) (sim.Time, error) {
+		app := apps[i/3]
+		var res sim.Time
+		var err error
+		switch i % 3 {
+		case 0:
+			res, err = app.run(core.ModeDefault, false)
+		case 1:
+			res, err = app.run(core.ModeLocalityAware, false)
+		default:
+			res, err = app.run(core.ModeDefault, true)
 		}
-		kDef, err := runK(core.ModeDefault, false)
 		if err != nil {
-			return nil, fmt.Errorf("%s default: %w", name, err)
+			return 0, fmt.Errorf("%s: %w", app.label, err)
 		}
-		kOpt, err := runK(core.ModeLocalityAware, false)
-		if err != nil {
-			return nil, err
-		}
-		kNat, err := runK(core.ModeDefault, true)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprintf("NAS %s.%c", name, class),
-			fmtF(kDef.Millis()), fmtF(kOpt.Millis()), fmtF(kNat.Millis()),
-			pct(kDef.Seconds(), kOpt.Seconds()),
-			fmt.Sprintf("%.0f%%", (kOpt.Seconds()-kNat.Seconds())/kNat.Seconds()*100))
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, app := range apps {
+		def, opt, nat := times[3*i], times[3*i+1], times[3*i+2]
+		t.AddRow(app.label,
+			fmtF(def.Millis()), fmtF(opt.Millis()), fmtF(nat.Millis()),
+			pct(def.Seconds(), opt.Seconds()),
+			fmt.Sprintf("%.0f%%", (opt.Seconds()-nat.Seconds())/nat.Seconds()*100))
 	}
 	return t, nil
 }

@@ -36,30 +36,36 @@ func Figure10(sc Scale) (*Table, error) {
 			"59%/64%/86%/28% vs default, within 9% of native.",
 	}
 
-	for _, kind := range []osu.CollectiveKind{osu.Bcast, osu.Allreduce, osu.Allgather, osu.Alltoall} {
-		measure := func(mode core.Mode, native bool) (osu.Series, error) {
-			d, err := clusterDeploy(hosts, 4, procs, native)
-			if err != nil {
-				return nil, err
-			}
-			w, err := newWorld(d, mode, false)
-			if err != nil {
-				return nil, err
-			}
-			return osu.Collective(w, kind, sizes, cfg)
+	kinds := []osu.CollectiveKind{osu.Bcast, osu.Allreduce, osu.Allgather, osu.Alltoall}
+	// Point i is collective i/3 as default (0), proposed (1), or native (2).
+	res, err := mapPoints(3*len(kinds), func(i int) (osu.Series, error) {
+		kind := kinds[i/3]
+		mode, native := core.ModeDefault, false
+		switch i % 3 {
+		case 1:
+			mode = core.ModeLocalityAware
+		case 2:
+			native = true
 		}
-		def, err := measure(core.ModeDefault, false)
-		if err != nil {
-			return nil, fmt.Errorf("%v default: %w", kind, err)
-		}
-		opt, err := measure(core.ModeLocalityAware, false)
+		d, err := clusterDeploy(hosts, 4, procs, native)
 		if err != nil {
 			return nil, err
 		}
-		nat, err := measure(core.ModeDefault, true)
+		w, err := newWorld(d, mode, false)
 		if err != nil {
 			return nil, err
 		}
+		s, err := osu.Collective(w, kind, sizes, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", kind, err)
+		}
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, kind := range kinds {
+		def, opt, nat := res[3*i], res[3*i+1], res[3*i+2]
 		for _, sz := range sizes {
 			dv, _ := def.At(sz)
 			ov, _ := opt.At(sz)

@@ -81,26 +81,37 @@ func FaultsExtension(sc Scale) (*Table, error) {
 		return w.MaxBodyTime(), w.Prof.TotalFaults(), correct, nil
 	}
 
-	addRow := func(name string, p *fault.Plan) error {
-		elapsed, fs, correct, err := run(p)
+	// The Plan is read-only once built (each world derives its own injector
+	// with private budgets), so the faulty scenarios can share it across
+	// concurrent points.
+	scenarios := []struct {
+		name string
+		plan *fault.Plan
+	}{
+		{"clean", nil},
+		{"faulty", plan},
+		{"faulty (repeat)", plan},
+	}
+	type outcome struct {
+		elapsed sim.Time
+		fs      profile.FaultStats
+		correct bool
+	}
+	rows, err := mapPoints(len(scenarios), func(i int) (outcome, error) {
+		elapsed, fs, correct, err := run(scenarios[i].plan)
 		if err != nil {
-			return fmt.Errorf("%s: %w", name, err)
+			return outcome{}, fmt.Errorf("%s: %w", scenarios[i].name, err)
 		}
-		t.AddRow(name, fmtF(elapsed.Micros()),
-			fmt.Sprintf("%d", fs.Retransmits), fmt.Sprintf("%d", fs.RetryExhausted),
-			fmt.Sprintf("%d", fs.ShmFallbacks), fmt.Sprintf("%d", fs.CMAFallbacks),
-			fmt.Sprintf("%v", correct))
-		return nil
-	}
-
-	if err := addRow("clean", nil); err != nil {
+		return outcome{elapsed, fs, correct}, nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := addRow("faulty", plan); err != nil {
-		return nil, err
-	}
-	if err := addRow("faulty (repeat)", plan); err != nil {
-		return nil, err
+	for i, s := range scenarios {
+		t.AddRow(s.name, fmtF(rows[i].elapsed.Micros()),
+			fmt.Sprintf("%d", rows[i].fs.Retransmits), fmt.Sprintf("%d", rows[i].fs.RetryExhausted),
+			fmt.Sprintf("%d", rows[i].fs.ShmFallbacks), fmt.Sprintf("%d", rows[i].fs.CMAFallbacks),
+			fmt.Sprintf("%v", rows[i].correct))
 	}
 	return t, nil
 }

@@ -37,23 +37,34 @@ func Figure3bc(sc Scale) (*Table, error) {
 		{"HCA", core.ModeDefault, nil}, // default across containers = loopback HCA
 	}
 
-	lat := map[string]osu.Series{}
-	bw := map[string]osu.Series{}
-	for _, ch := range channels {
+	// Point i is channel i/2 measuring latency (even) or bandwidth (odd).
+	res, err := mapPoints(2*len(channels), func(i int) (osu.Series, error) {
+		ch := channels[i/2]
 		w, err := pairWorld(true, true, ch.mode, ch.tweak)
 		if err != nil {
 			return nil, err
 		}
-		if lat[ch.label], err = osu.Latency(w, sizes, cfg); err != nil {
-			return nil, fmt.Errorf("%s latency: %w", ch.label, err)
+		if i%2 == 0 {
+			s, err := osu.Latency(w, sizes, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s latency: %w", ch.label, err)
+			}
+			return s, nil
 		}
-		w, err = pairWorld(true, true, ch.mode, ch.tweak)
+		s, err := osu.Bandwidth(w, sizes, cfg)
 		if err != nil {
-			return nil, err
-		}
-		if bw[ch.label], err = osu.Bandwidth(w, sizes, cfg); err != nil {
 			return nil, fmt.Errorf("%s bandwidth: %w", ch.label, err)
 		}
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	lat := map[string]osu.Series{}
+	bw := map[string]osu.Series{}
+	for i, ch := range channels {
+		lat[ch.label] = res[2*i]
+		bw[ch.label] = res[2*i+1]
 	}
 
 	t := &Table{
@@ -92,7 +103,10 @@ func Figure7a(sc Scale) (*Table, error) {
 		Columns: []string{"eager size", "bw@2K", "bw@8K", "bw@32K", "mr@2K", "mr@8K", "mr@32K"},
 		Notes:   "Paper: optimum at 8K.",
 	}
-	for _, eager := range []int{1024, 2048, 4096, 8192, 16384, 32768, 65536} {
+	eagers := []int{1024, 2048, 4096, 8192, 16384, 32768, 65536}
+	// Point i is eager size i/2 measuring bandwidth (even) or msg rate (odd).
+	res, err := mapPoints(2*len(eagers), func(i int) (osu.Series, error) {
+		eager := eagers[i/2]
 		tweak := func(o *mpi.Options) {
 			o.Tunables.SMPEagerSize = eager
 			if o.Tunables.SMPLengthQueue < 2*eager {
@@ -103,18 +117,16 @@ func Figure7a(sc Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		bw, err := osu.Bandwidth(w, probe, cfg)
-		if err != nil {
-			return nil, err
+		if i%2 == 0 {
+			return osu.Bandwidth(w, probe, cfg)
 		}
-		w, err = pairWorld(true, true, core.ModeLocalityAware, tweak)
-		if err != nil {
-			return nil, err
-		}
-		mr, err := osu.MessageRate(w, probe, cfg)
-		if err != nil {
-			return nil, err
-		}
+		return osu.MessageRate(w, probe, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, eager := range eagers {
+		bw, mr := res[2*i], res[2*i+1]
 		row := []string{fmt.Sprintf("%d", eager)}
 		for _, p := range probe {
 			v, _ := bw.At(p)
@@ -140,7 +152,10 @@ func Figure7b(sc Scale) (*Table, error) {
 		Columns: []string{"length queue", "bw@4K", "bw@8K", "mr@4K", "mr@8K"},
 		Notes:   "Paper: optimum at 128K; small rings stall the eager pipeline.",
 	}
-	for _, lq := range []int{16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 1 << 20} {
+	lqs := []int{16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 1 << 20}
+	// Point i is queue size i/2 measuring bandwidth (even) or msg rate (odd).
+	res, err := mapPoints(2*len(lqs), func(i int) (osu.Series, error) {
+		lq := lqs[i/2]
 		tweak := func(o *mpi.Options) {
 			o.Tunables.SMPEagerSize = 8192
 			o.Tunables.SMPLengthQueue = lq
@@ -151,18 +166,16 @@ func Figure7b(sc Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		bw, err := osu.Bandwidth(w, probe, cfg)
-		if err != nil {
-			return nil, err
+		if i%2 == 0 {
+			return osu.Bandwidth(w, probe, cfg)
 		}
-		w, err = pairWorld(true, true, core.ModeLocalityAware, tweak)
-		if err != nil {
-			return nil, err
-		}
-		mr, err := osu.MessageRate(w, probe, cfg)
-		if err != nil {
-			return nil, err
-		}
+		return osu.MessageRate(w, probe, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, lq := range lqs {
+		bw, mr := res[2*i], res[2*i+1]
 		row := []string{fmt.Sprintf("%d", lq)}
 		for _, p := range probe {
 			v, _ := bw.At(p)
@@ -188,20 +201,23 @@ func Figure7c(sc Scale) (*Table, error) {
 		Columns: []string{"threshold", "bw@14K", "bw@16K", "bw@18K"},
 		Notes:   "Paper: optimum at 17K for container environments.",
 	}
-	for _, th := range []int{13 << 10, 14 << 10, 15 << 10, 16 << 10, 17 << 10, 18 << 10, 19 << 10} {
+	thresholds := []int{13 << 10, 14 << 10, 15 << 10, 16 << 10, 17 << 10, 18 << 10, 19 << 10}
+	res, err := mapPoints(len(thresholds), func(i int) (osu.Series, error) {
 		w, err := interHostPairWorld(func(o *mpi.Options) {
-			o.Tunables.IBAEagerThreshold = th
+			o.Tunables.IBAEagerThreshold = thresholds[i]
 		})
 		if err != nil {
 			return nil, err
 		}
-		bw, err := osu.Bandwidth(w, probe, cfg)
-		if err != nil {
-			return nil, err
-		}
+		return osu.Bandwidth(w, probe, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, th := range thresholds {
 		row := []string{fmt.Sprintf("%d", th)}
 		for _, p := range probe {
-			v, _ := bw.At(p)
+			v, _ := res[i].At(p)
 			row = append(row, fmtF(v))
 		}
 		t.AddRow(row...)
@@ -232,8 +248,9 @@ func seriesFig89() []fig89Series {
 func runFig89(sc Scale, sizes []int,
 	bench func(w *mpi.World, sizes []int, cfg osu.Config) (osu.Series, error)) (map[string]osu.Series, error) {
 	cfg := osuCfg(sc)
-	out := map[string]osu.Series{}
-	for _, s := range seriesFig89() {
+	all := seriesFig89()
+	res, err := mapPoints(len(all), func(i int) (osu.Series, error) {
+		s := all[i]
 		w, err := pairWorld(s.containerized, s.sameSocket, s.mode, nil)
 		if err != nil {
 			return nil, err
@@ -242,7 +259,14 @@ func runFig89(sc Scale, sizes []int,
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", s.label, err)
 		}
-		out[s.label] = series
+		return series, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]osu.Series{}
+	for i, s := range all {
+		out[s.label] = res[i]
 	}
 	return out, nil
 }

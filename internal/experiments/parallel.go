@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Experiment tables are assembled from independent data points — one world,
+// one simulation each. Virtual-time results depend only on the point's own
+// inputs, so points can run on OS threads concurrently while rows are always
+// assembled in the original order: the rendered bytes are identical for any
+// worker count.
+
+// workerOverride holds an explicit SetWorkers value (0 = unset).
+var workerOverride atomic.Int64
+
+// Workers reports the sweep worker-pool size: an explicit SetWorkers value if
+// set, else the CMPI_SWEEP_WORKERS environment variable, else GOMAXPROCS.
+func Workers() int {
+	if n := int(workerOverride.Load()); n > 0 {
+		return n
+	}
+	if s := os.Getenv("CMPI_SWEEP_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers pins the sweep worker-pool size; n <= 0 restores the default.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerOverride.Store(int64(n))
+}
+
+// mapPoints evaluates fn(0..n-1) on a bounded worker pool and returns the
+// results in index order. Every point runs regardless of other points'
+// failures; the reported error is the lowest-index one, so error returns are
+// as deterministic as the results themselves.
+func mapPoints[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	workers := Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			var err error
+			if out[i], err = fn(i); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

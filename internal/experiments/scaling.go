@@ -29,33 +29,40 @@ func ScalingExtension(sc Scale) (*Table, error) {
 		Notes: "Extension beyond the paper: the locality-aware win persists as the " +
 			"cluster grows, supporting the paper's scalability conclusion.",
 	}
-	for _, hosts := range hostCounts {
-		procs := 16 * hosts
-		measure := func(mode core.Mode) (float64, error) {
-			d, err := clusterDeploy(hosts, 4, procs, false)
-			if err != nil {
-				return 0, err
-			}
-			w, err := newWorld(d, mode, false)
-			if err != nil {
-				return 0, err
-			}
-			p := graph500.DefaultParams(gscale)
-			p.Roots = 2
-			p.Validate = false
-			res, err := graph500.Run(w, p)
-			return res.MeanBFS.Millis(), err
+	// Point i is host count i/2 under the default (even) or proposed (odd)
+	// library.
+	res, err := mapPoints(2*len(hostCounts), func(i int) (float64, error) {
+		hosts := hostCounts[i/2]
+		mode := core.ModeDefault
+		if i%2 == 1 {
+			mode = core.ModeLocalityAware
 		}
-		def, err := measure(core.ModeDefault)
+		d, err := clusterDeploy(hosts, 4, procs16(hosts), false)
 		if err != nil {
-			return nil, fmt.Errorf("%d hosts default: %w", hosts, err)
+			return 0, err
 		}
-		opt, err := measure(core.ModeLocalityAware)
+		w, err := newWorld(d, mode, false)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		t.AddRow(fmt.Sprintf("%d", hosts), fmt.Sprintf("%d", procs),
-			fmtF(def), fmtF(opt), pct(def, opt))
+		p := graph500.DefaultParams(gscale)
+		p.Roots = 2
+		p.Validate = false
+		r, err := graph500.Run(w, p)
+		if err != nil {
+			return 0, fmt.Errorf("%d hosts: %w", hosts, err)
+		}
+		return r.MeanBFS.Millis(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, hosts := range hostCounts {
+		t.AddRow(fmt.Sprintf("%d", hosts), fmt.Sprintf("%d", procs16(hosts)),
+			fmtF(res[2*i]), fmtF(res[2*i+1]), pct(res[2*i], res[2*i+1]))
 	}
 	return t, nil
 }
+
+// procs16 is the fixed 16-ranks-per-host density of the scaling sweep.
+func procs16(hosts int) int { return 16 * hosts }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"cmpi/internal/cluster"
+	"cmpi/internal/core"
 	"cmpi/internal/fault"
 	"cmpi/internal/perf"
 	"cmpi/internal/sim"
@@ -43,7 +44,14 @@ type Fabric struct {
 	retryCnt int      // RC retry_cnt: max retransmissions before QP error
 	retryTO  sim.Time // base retransmission timeout; doubles per retry
 	stats    FaultStats
+
+	// pool recycles wire snapshots and SRQ bounce buffers. Safe without a
+	// lock: the fabric belongs to one sequential engine.
+	pool core.BufPool
 }
+
+// PoolCounters reports the fabric buffer pool's hit statistics.
+func (f *Fabric) PoolCounters() core.PoolCounters { return f.pool.Counters() }
 
 // FaultStats tallies transport-level fault handling on the fabric.
 type FaultStats struct {
@@ -122,6 +130,11 @@ func (f *Fabric) OpenDevice(env *cluster.Container) (*Device, error) {
 	}
 	return &Device{fabric: f, Env: env}, nil
 }
+
+// Recycle returns a bounce buffer received via CQE.Buf to the fabric pool.
+// Call it once the payload has been copied out; the CQE must not be touched
+// afterwards. Recycling nil or a foreign buffer is a no-op.
+func (d *Device) Recycle(buf []byte) { d.fabric.pool.Put(buf) }
 
 // MR is a registered (pinned) memory region.
 type MR struct {
@@ -229,6 +242,7 @@ type CQE struct {
 type CQ struct {
 	dev     *Device
 	entries []CQE
+	spare   []CQE // retired batch, reused as the next entries backing
 	waiter  *sim.Proc
 }
 
@@ -252,13 +266,19 @@ func (q *CQ) push(t sim.Time, e CQE) {
 // overhead only when completions were found (an empty poll models as free,
 // matching the spin-wait pattern of MPI progress engines where the cost of
 // idle polling is already covered by the blocked wait).
+//
+// The returned slice is valid only until the next Poll on this CQ: the two
+// batch buffers are swapped rather than reallocated, so a caller that drains
+// each batch before polling again (the progress-engine pattern) never
+// allocates here.
 func (q *CQ) Poll(p *sim.Proc) []CQE {
 	if len(q.entries) == 0 {
 		return nil
 	}
 	p.Advance(q.dev.fabric.prm.IBPollOverhead)
 	out := q.entries
-	q.entries = nil
+	q.entries = q.spare[:0]
+	q.spare = out
 	return out
 }
 
@@ -432,6 +452,7 @@ func (q *QP) PostRecv(p *sim.Proc, wrid uint64, buf []byte) {
 		msg := q.inQ[0]
 		q.inQ = q.inQ[1:]
 		q.deliver(maxT(p.Now(), msg.at), wrid, buf, msg.payload, msg.op, msg.imm)
+		q.dev.fabric.pool.Put(msg.payload) // copied into buf; wire snapshot is free
 		return
 	}
 	q.recvQ = append(q.recvQ, recvWQE{wrid: wrid, buf: buf})
@@ -470,25 +491,29 @@ func (q *QP) PostSend(p *sim.Proc, wrid uint64, payload []byte, imm uint64) {
 		f.breakPair(t0, q, wrid, OpSend, retries)
 		return
 	}
-	snapshot := append([]byte(nil), payload...)
-	txEnd, arrival := f.transitTimes(q.dev.Env.Host.Index, q.peer.dev.Env.Host.Index, len(snapshot)+hdrBytes, t0)
+	snapshot := f.pool.GetCopy(payload)
+	n := len(snapshot)
+	txEnd, arrival := f.transitTimes(q.dev.Env.Host.Index, q.peer.dev.Env.Host.Index, n+hdrBytes, t0)
 	peer := q.peer
 	f.eng.At(arrival, func() {
 		if peer.autoRecv {
-			peer.recvCQ.push(arrival, CQE{QP: peer, Op: OpRecv, Bytes: len(snapshot), Imm: imm, Buf: snapshot})
+			// Ownership of the bounce buffer transfers to the consumer, who
+			// returns it with Device.Recycle once the message is absorbed.
+			peer.recvCQ.push(arrival, CQE{QP: peer, Op: OpRecv, Bytes: n, Imm: imm, Buf: snapshot})
 			return
 		}
 		if len(peer.recvQ) > 0 {
 			wqe := peer.recvQ[0]
 			peer.recvQ = peer.recvQ[1:]
 			peer.deliver(arrival, wqe.wrid, wqe.buf, snapshot, OpRecv, imm)
+			f.pool.Put(snapshot)
 			return
 		}
 		peer.inQ = append(peer.inQ, inbound{payload: snapshot, imm: imm, op: OpRecv, at: arrival})
 	})
 	sq := q.sendCQ
 	f.eng.At(txEnd, func() {
-		sq.push(txEnd, CQE{QP: q, WRID: wrid, Op: OpSend, Bytes: len(snapshot), Retries: retries})
+		sq.push(txEnd, CQE{QP: q, WRID: wrid, Op: OpSend, Bytes: n, Retries: retries})
 	})
 }
 
@@ -519,20 +544,22 @@ func (q *QP) PostWrite(p *sim.Proc, wrid uint64, src []byte, remote *MR, off int
 		f.breakPair(t0, q, wrid, OpWrite, retries)
 		return
 	}
-	snapshot := append([]byte(nil), src...)
+	snapshot := f.pool.GetCopy(src)
+	n := len(snapshot)
 	loop := q.loopback()
-	_, arrival := f.transitTimes(q.dev.Env.Host.Index, q.peer.dev.Env.Host.Index, len(snapshot)+hdrBytes, t0)
+	_, arrival := f.transitTimes(q.dev.Env.Host.Index, q.peer.dev.Env.Host.Index, n+hdrBytes, t0)
 	peer := q.peer
 	f.eng.At(arrival, func() {
 		copy(remote.Buf[off:], snapshot)
+		f.pool.Put(snapshot)
 		if withImm {
 			switch {
 			case peer.autoRecv:
-				peer.recvCQ.push(arrival, CQE{QP: peer, Op: OpWriteImm, Bytes: len(snapshot), Imm: imm})
+				peer.recvCQ.push(arrival, CQE{QP: peer, Op: OpWriteImm, Bytes: n, Imm: imm})
 			case len(peer.recvQ) > 0:
 				wqe := peer.recvQ[0]
 				peer.recvQ = peer.recvQ[1:]
-				peer.recvCQ.push(arrival, CQE{QP: peer, WRID: wqe.wrid, Op: OpWriteImm, Bytes: len(snapshot), Imm: imm})
+				peer.recvCQ.push(arrival, CQE{QP: peer, WRID: wqe.wrid, Op: OpWriteImm, Bytes: n, Imm: imm})
 			default:
 				peer.inQ = append(peer.inQ, inbound{payload: nil, imm: imm, op: OpWriteImm, at: arrival})
 			}
@@ -542,7 +569,7 @@ func (q *QP) PostWrite(p *sim.Proc, wrid uint64, src []byte, remote *MR, off int
 	ack := arrival + prm.IBWireLatency(loop)
 	sq := q.sendCQ
 	f.eng.At(ack, func() {
-		sq.push(ack, CQE{QP: q, WRID: wrid, Op: OpWrite, Bytes: len(snapshot), Retries: retries})
+		sq.push(ack, CQE{QP: q, WRID: wrid, Op: OpWrite, Bytes: n, Retries: retries})
 	})
 }
 
@@ -575,10 +602,11 @@ func (q *QP) PostRead(p *sim.Proc, wrid uint64, dst []byte, remote *MR, off int)
 	qq := q
 	f.eng.At(reqArrive, func() {
 		// Response hop: data flows remote -> local.
-		snapshot := append([]byte(nil), remoteBuf[off:off+len(dst)]...)
+		snapshot := f.pool.GetCopy(remoteBuf[off : off+len(dst)])
 		_, respArrive := f.transitTimes(dstHost, src, len(dst)+hdrBytes, reqArrive)
 		f.eng.At(respArrive, func() {
 			copy(dst, snapshot)
+			f.pool.Put(snapshot)
 			sq.push(respArrive, CQE{QP: qq, WRID: wrid, Op: OpRead, Bytes: len(dst)})
 		})
 	})

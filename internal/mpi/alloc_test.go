@@ -1,0 +1,79 @@
+package mpi
+
+import (
+	"testing"
+
+	"cmpi/internal/core"
+)
+
+// pingpongAllocs measures total host allocations for one world that bounces
+// msgs round trips of the given size between ranks 0 and 1. Round trips (not
+// a one-way stream) keep the in-flight window bounded so pools can recycle.
+func pingpongAllocs(t *testing.T, scenario string, mode core.Mode, size, msgs int) float64 {
+	t.Helper()
+	var failure error
+	allocs := testing.AllocsPerRun(3, func() {
+		opts := DefaultOptions()
+		opts.Mode = mode
+		w := testWorld(t, scenario, 2, opts)
+		err := w.Run(func(r *Rank) error {
+			buf := make([]byte, size)
+			for i := 0; i < msgs; i++ {
+				if r.Rank() == 0 {
+					r.Send(1, 0, buf)
+					r.Recv(1, 1, buf)
+				} else {
+					r.Recv(0, 0, buf)
+					r.Send(0, 1, buf)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			failure = err
+		}
+	})
+	if failure != nil {
+		t.Fatal(failure)
+	}
+	return allocs
+}
+
+// perMessageAllocs cancels the fixed world-construction and pool-warmup cost
+// by differencing two message counts: steady-state allocations per message.
+func perMessageAllocs(t *testing.T, scenario string, mode core.Mode, size int) float64 {
+	t.Helper()
+	const small, big = 64, 320
+	a := pingpongAllocs(t, scenario, mode, size, small)
+	b := pingpongAllocs(t, scenario, mode, size, big)
+	return (b - a) / float64(big-small) / 2 // two messages per round trip
+}
+
+// TestShmEagerSteadyStateAllocs locks in the pooled SHM eager path: packets,
+// envelopes, requests, send ops, and staging buffers all recycle, so the
+// steady state is (amortized) allocation-free.
+func TestShmEagerSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc measurement is slow")
+	}
+	per := perMessageAllocs(t, "1cont", core.ModeLocalityAware, 512)
+	t.Logf("SHM eager: %.3f allocs/message", per)
+	if per > 0.5 {
+		t.Errorf("SHM eager send/recv allocates %.3f/message in steady state; want ~0", per)
+	}
+}
+
+// TestHCAEagerSteadyStateAllocs locks in the pooled HCA eager path: wire
+// buffers and SRQ bounce buffers recycle through the fabric pool. The
+// residual is the engine's deferred-delivery closures, not per-message
+// buffers.
+func TestHCAEagerSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc measurement is slow")
+	}
+	per := perMessageAllocs(t, "2cont", core.ModeDefault, 512)
+	t.Logf("HCA eager: %.3f allocs/message", per)
+	if per > 3 {
+		t.Errorf("HCA eager send allocates %.3f/message in steady state; want ~2 (the deferred-delivery closures)", per)
+	}
+}

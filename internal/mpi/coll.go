@@ -448,6 +448,8 @@ func (r *Rank) sendrecvInternal(dst, sendTag int, sendData []byte, src, recvTag 
 	sq := r.csend(dst, sendTag, sendData)
 	r.wait(rq)
 	r.wait(sq)
+	r.putReq(rq)
+	r.putReq(sq)
 }
 
 // chargeReduce models the local arithmetic of combining n bytes.

@@ -19,10 +19,19 @@ const (
 // rank, tag, payload size, message sequence, rendezvous id.
 const hcaHdrLen = 32
 
-// putHdr encodes the wire header into a fresh buffer, leaving room for the
-// payload behind it.
+// putHdr encodes the wire header and payload into a buffer sized
+// hcaHdrLen+len(payload).
 func putHdr(kind uint8, ctx, src, tag, size int, seq, msgID uint64, payload []byte) []byte {
-	buf := make([]byte, hcaHdrLen+len(payload))
+	return encodeHdr(make([]byte, hcaHdrLen+len(payload)), kind, ctx, src, tag, size, seq, msgID, payload)
+}
+
+// putHdr is the pooled variant: the caller recycles the returned buffer with
+// r.w.pools.buf.Put once posted (PostSend snapshots synchronously).
+func (r *Rank) putHdr(kind uint8, ctx, src, tag, size int, seq, msgID uint64, payload []byte) []byte {
+	return encodeHdr(r.w.pools.buf.Get(hcaHdrLen+len(payload)), kind, ctx, src, tag, size, seq, msgID, payload)
+}
+
+func encodeHdr(buf []byte, kind uint8, ctx, src, tag, size int, seq, msgID uint64, payload []byte) []byte {
 	buf[0] = kind
 	binary.LittleEndian.PutUint16(buf[2:], uint16(ctx))
 	binary.LittleEndian.PutUint32(buf[4:], uint32(src))
@@ -68,8 +77,9 @@ func (r *Rank) hcaEagerSend(req *Request) {
 	r.sendSeq[req.peer]++
 	// Copy into the pre-registered eager bounce buffer.
 	r.p.Advance(prm.MemCopy(len(req.sbuf), false))
-	wire := putHdr(hcaEager, req.ctx, r.rank, req.tag, len(req.sbuf), seq, 0, req.sbuf)
+	wire := r.putHdr(hcaEager, req.ctx, r.rank, req.tag, len(req.sbuf), seq, 0, req.sbuf)
 	qp.PostSend(r.p, 0, wire, 0)
+	r.w.pools.buf.Put(wire)
 	r.countOp(core.ChannelHCA, len(req.sbuf))
 	r.completeSend(req)
 }
@@ -77,6 +87,10 @@ func (r *Rank) hcaEagerSend(req *Request) {
 // hcaRndvSend starts a rendezvous transfer: register the user buffer, send
 // RTS, and wait for the CTS to RDMA-write the payload.
 func (r *Rank) hcaRndvSend(req *Request) {
+	// The shared rendezvous table may reference this request until the
+	// receiver's WRITE_IMM completion — after our own wait returns — so it
+	// must never be recycled.
+	req.noPool = true
 	qp := r.qpFor(req.peer)
 	seq := r.sendSeq[req.peer]
 	r.sendSeq[req.peer]++
@@ -84,7 +98,9 @@ func (r *Rank) hcaRndvSend(req *Request) {
 	r.w.rndv[msgID] = &rndvState{sreq: req}
 	// Pin the payload for the later zero-copy RDMA write.
 	r.p.Advance(r.w.Opts.Params.IBRegister(len(req.sbuf)))
-	qp.PostSend(r.p, 0, putHdr(hcaRTS, req.ctx, r.rank, req.tag, len(req.sbuf), seq, msgID, nil), 0)
+	wire := r.putHdr(hcaRTS, req.ctx, r.rank, req.tag, len(req.sbuf), seq, msgID, nil)
+	qp.PostSend(r.p, 0, wire, 0)
+	r.w.pools.buf.Put(wire)
 }
 
 // handleCQE dispatches one completion from the rank's CQ.
@@ -99,6 +115,9 @@ func (r *Rank) handleCQE(cqe ib.CQE) {
 	switch cqe.Op {
 	case ib.OpRecv:
 		r.handleHCAMessage(parseHdr(cqe.Buf))
+		// The SRQ bounce buffer is fully absorbed (payload copied into the
+		// user or staging buffer); hand it back to the fabric.
+		r.dev.Recycle(cqe.Buf)
 	case ib.OpWriteImm:
 		// Rendezvous payload landed in our posted buffer: complete the recv.
 		st := r.w.rndv[cqe.Imm]
@@ -209,30 +228,31 @@ func (r *Rank) handleHCAMessage(m hcaMsg) {
 	prm := &r.w.Opts.Params
 	switch m.kind {
 	case hcaEager:
-		env := &envelope{
-			src: m.src, tag: m.tag, ctx: m.ctx, size: m.size, seq: m.seq,
-			path: core.PathHCAEager, hca: true,
-		}
+		env := r.w.pools.envs.get()
+		env.src, env.tag, env.ctx, env.size, env.seq = m.src, m.tag, m.ctx, m.size, m.seq
+		env.path, env.hca = core.PathHCAEager, true
 		if req := r.matchPosted(m.src, m.tag, m.ctx); req != nil {
 			// Copy from the bounce buffer into the user buffer.
 			r.bindEnvelope(env, req)
+			if req.done {
+				return // zero-size: completed (and recycled) in bindEnvelope
+			}
 			r.p.Advance(prm.EagerRecvCopy(m.size))
 			copy(req.rbuf, m.payload[:m.size])
 			env.received = m.size
 			r.completeRecv(req, env)
 			return
 		}
-		// Unexpected: the bounce buffer itself is the staging copy.
-		env.staged = m.payload[:m.size]
+		// Unexpected: stage a copy so the wire bounce buffer can recycle.
+		env.staged = r.w.pools.buf.GetCopy(m.payload[:m.size])
 		env.received = m.size
 		env.complete = true
 		r.unexpected = append(r.unexpected, env)
 
 	case hcaRTS:
-		env := &envelope{
-			src: m.src, tag: m.tag, ctx: m.ctx, size: m.size, seq: m.seq,
-			path: core.PathHCARndv, hca: true, msgID: m.msgID,
-		}
+		env := r.w.pools.envs.get()
+		env.src, env.tag, env.ctx, env.size, env.seq = m.src, m.tag, m.ctx, m.size, m.seq
+		env.path, env.hca, env.msgID = core.PathHCARndv, true, m.msgID
 		if req := r.matchPosted(m.src, m.tag, m.ctx); req != nil {
 			r.bindEnvelope(env, req)
 			return
@@ -267,5 +287,7 @@ func (r *Rank) hcaSendCTS(env *envelope, req *Request) {
 	st.rreq = req
 	st.mr = r.dev.RegisterMR(r.p, req.rbuf[:env.size])
 	qp := r.qpFor(env.src)
-	qp.PostSend(r.p, 0, putHdr(hcaCTS, env.ctx, r.rank, env.tag, env.size, env.seq, env.msgID, nil), 0)
+	wire := r.putHdr(hcaCTS, env.ctx, r.rank, env.tag, env.size, env.seq, env.msgID, nil)
+	qp.PostSend(r.p, 0, wire, 0)
+	r.w.pools.buf.Put(wire)
 }

@@ -54,6 +54,7 @@ type ringDir struct {
 	capacity int
 	used     int
 	q        []*shmPacket
+	head     int // index of the first undrained packet in q
 	stalled  bool // sender hit the budget; receiver must wake it
 }
 
@@ -102,6 +103,16 @@ func (d *ringDir) tryPush(r *Rank, pkt *shmPacket) bool {
 	}
 	d.used += pkt.footprint
 	pkt.avail = r.p.Now()
+	// Reclaim the drained prefix before append would grow the array, so the
+	// queue reuses one allocation in steady state.
+	if d.head > 0 && len(d.q) == cap(d.q) {
+		n := copy(d.q, d.q[d.head:])
+		for i := n; i < len(d.q); i++ {
+			d.q[i] = nil
+		}
+		d.q = d.q[:n]
+		d.head = 0
+	}
 	d.q = append(d.q, pkt)
 	r.w.ranks[d.receiver].p.UnparkAt(pkt.avail)
 	return true
@@ -111,12 +122,18 @@ func (d *ringDir) tryPush(r *Rank, pkt *shmPacket) bool {
 func (s *shmRing) drain(r *Rank) bool {
 	d := s.in(r.rank)
 	adv := false
-	for len(d.q) > 0 && d.q[0].avail <= r.p.Now() {
-		pkt := d.q[0]
-		d.q = d.q[1:]
+	for d.head < len(d.q) && d.q[d.head].avail <= r.p.Now() {
+		pkt := d.q[d.head]
+		d.q[d.head] = nil
+		d.head++
 		d.used -= pkt.footprint
 		r.handleShmPacket(s, pkt)
+		r.w.pools.pkts.put(pkt) // drain is the single consumption point
 		adv = true
+	}
+	if d.head == len(d.q) {
+		d.q = d.q[:0]
+		d.head = 0
 	}
 	if adv && d.stalled {
 		d.stalled = false
@@ -150,6 +167,7 @@ type sendOp struct {
 	firstPushed bool
 	state       opState
 	queued      bool // currently listed in the sender's sendQ
+	refs        int8 // sender-queue + receiver-stream references (see pool.go)
 }
 
 // enqueueShmSend queues a ring-bound send and pushes what fits immediately.
@@ -168,17 +186,15 @@ func (r *Rank) enqueueShmSend(req *Request, path core.Path) {
 		}
 		return
 	}
-	op := &sendOp{
-		req:  req,
-		dst:  req.peer,
-		tag:  req.tag,
-		ctx:  req.ctx,
-		seq:  r.sendSeq[req.peer],
-		data: append([]byte(nil), req.sbuf...),
-		path: path,
-	}
+	op := r.getOp()
+	op.req = req
+	op.dst = req.peer
+	op.tag = req.tag
+	op.ctx = req.ctx
+	op.seq = r.sendSeq[req.peer]
+	op.data = r.w.pools.buf.GetCopy(req.sbuf)
+	op.path = path
 	r.sendSeq[req.peer]++
-	req.op = op
 	if path == core.PathSHMEager {
 		op.state = opEagerPush
 	} else {
@@ -228,14 +244,24 @@ func (r *Rank) pushSends(dst int) bool {
 	}
 	// Compact: drop ops that need no further ring pushes. A CMA rendezvous
 	// op waiting for its FIN leaves the queue here and re-enters through
-	// enqueueOp if the receiver degrades it to SHM streaming.
+	// enqueueOp if the receiver degrades it to SHM streaming; it keeps its
+	// sender reference (the FIN handler drops it). A done op's reference is
+	// dropped here — in-flight ring fragments still alias its payload, so
+	// the receiver's reference keeps the buffer alive until the stream is
+	// fully consumed.
 	keep := q[:0]
 	for _, op := range q {
 		if op.state == opDone || op.state == opAwaitFIN {
 			op.queued = false
+			if op.state == opDone {
+				r.releaseOp(op)
+			}
 			continue
 		}
 		keep = append(keep, op)
+	}
+	for i := len(keep); i < len(q); i++ {
+		q[i] = nil // clear the compacted tail so dropped ops aren't pinned
 	}
 	r.sendQ[dst] = keep
 	return adv
@@ -249,12 +275,12 @@ func (r *Rank) pushOp(d *ringDir, op *sendOp) bool {
 	if op.state == opRTSPending {
 		// Rendezvous envelope: a zero-footprint control packet carrying
 		// the message metadata and the sender's buffer handle.
-		pkt := &shmPacket{
-			kind: pktRTS, seq: op.seq, tag: op.tag, ctx: op.ctx, size: len(op.data),
-			sop: op, path: op.path,
-		}
+		pkt := r.w.pools.pkts.get()
+		pkt.kind, pkt.seq, pkt.tag, pkt.ctx, pkt.size = pktRTS, op.seq, op.tag, op.ctx, len(op.data)
+		pkt.sop, pkt.path = op, op.path
 		r.p.Advance(prm.ShmPostOverhead)
 		if !d.tryPush(r, pkt) {
+			r.w.pools.pkts.put(pkt)
 			return false
 		}
 		op.firstPushed = true
@@ -281,16 +307,17 @@ func (r *Rank) pushOp(d *ringDir, op *sendOp) bool {
 		if !op.firstPushed {
 			kind = pktEagerFirst
 		}
-		pkt := &shmPacket{
-			kind: kind, seq: op.seq, tag: op.tag, ctx: op.ctx, size: len(op.data),
-			payload:   op.data[op.offset : op.offset+n],
-			footprint: n + pktHeaderBytes, sop: op, path: op.path,
-		}
+		pkt := r.w.pools.pkts.get()
+		pkt.kind, pkt.seq, pkt.tag, pkt.ctx, pkt.size = kind, op.seq, op.tag, op.ctx, len(op.data)
+		pkt.payload = op.data[op.offset : op.offset+n]
+		pkt.footprint = n + pktHeaderBytes
+		pkt.sop, pkt.path = op, op.path
 		// Charge before pushing: claiming the cell plus the copy in. A
 		// failed push keeps the charge as retry cost, matching a real
 		// sender's failed poll-and-retry work.
 		r.p.Advance(prm.ShmPostOverhead + prm.MemCopy(n, cs) + r.containerOverhead())
 		if !d.tryPush(r, pkt) {
+			r.w.pools.pkts.put(pkt)
 			return adv
 		}
 		r.countOp(core.ChannelSHM, n)
@@ -311,18 +338,25 @@ func (r *Rank) handleShmPacket(ring *shmRing, pkt *shmPacket) {
 	switch pkt.kind {
 	case pktEagerFirst, pktRTS:
 		r.p.Advance(prm.ShmPollOverhead)
-		env := &envelope{
-			src: src, tag: pkt.tag, ctx: pkt.ctx, size: pkt.size, seq: pkt.seq,
-			path: pkt.path, sop: pkt.sop,
-		}
+		env := r.w.pools.envs.get()
+		env.src, env.tag, env.ctx, env.size, env.seq = src, pkt.tag, pkt.ctx, pkt.size, pkt.seq
+		env.path, env.sop = pkt.path, pkt.sop
 		if pkt.kind == pktEagerFirst {
 			r.streams[streamKey{src: src, seq: pkt.seq}] = env
 		}
 		if req := r.matchPosted(src, pkt.tag, pkt.ctx); req != nil {
 			r.bindEnvelope(env, req)
+			if req.done && pkt.kind == pktEagerFirst {
+				// A zero-size eager message completed inside bindEnvelope and
+				// the envelope is already recycled: do the stream bookkeeping
+				// acceptFrag would otherwise handle.
+				delete(r.streams, streamKey{src: src, seq: pkt.seq})
+				r.releaseOp(pkt.sop)
+				return
+			}
 		} else {
 			if pkt.kind == pktEagerFirst {
-				env.staged = make([]byte, pkt.size)
+				env.staged = r.w.pools.buf.Get(pkt.size)
 			}
 			r.unexpected = append(r.unexpected, env)
 		}
@@ -350,9 +384,12 @@ func (r *Rank) handleShmPacket(ring *shmRing, pkt *shmPacket) {
 
 	case pktFIN:
 		// We are the original sender of a CMA rendezvous: buffer released.
+		// The op left the send queue at opAwaitFIN keeping its sender
+		// reference; drop it here.
 		op := pkt.sop
 		op.state = opDone
 		r.completeSend(op.req)
+		r.releaseOp(op)
 	}
 }
 
@@ -370,6 +407,12 @@ func (r *Rank) acceptFrag(env *envelope, payload []byte) {
 	env.received += len(payload)
 	if env.received >= env.size {
 		delete(r.streams, streamKey{src: env.src, seq: env.seq})
+		if env.sop != nil {
+			// Last fragment consumed: no ring packet aliases the sender's
+			// payload snapshot anymore, so drop the receiver's reference.
+			r.releaseOp(env.sop)
+			env.sop = nil
+		}
 		if env.req != nil {
 			r.completeRecv(env.req, env)
 		} else {
@@ -406,14 +449,22 @@ func (r *Rank) performCMARead(env *envelope, req *Request) {
 		r.p.Fatalf("CMA read from rank %d: %v", env.src, err)
 	}
 	r.countOp(core.ChannelCMA, env.size)
-	r.pushControl(env.src, &shmPacket{kind: pktFIN, sop: env.sop})
+	pkt := r.w.pools.pkts.get()
+	pkt.kind, pkt.sop = pktFIN, env.sop
+	r.pushControl(env.src, pkt)
+	// The payload has been read out; drop the receiver's reference (the
+	// sender's is dropped when it consumes the FIN).
+	r.releaseOp(env.sop)
+	env.sop = nil
 	r.completeRecv(req, env)
 }
 
 // sendCTS releases a SHM-staged rendezvous sender.
 func (r *Rank) sendCTS(env *envelope) {
 	r.streams[streamKey{src: env.src, seq: env.seq}] = env
-	r.pushControl(env.src, &shmPacket{kind: pktCTS, sop: env.sop})
+	pkt := r.w.pools.pkts.get()
+	pkt.kind, pkt.sop = pktCTS, env.sop
+	r.pushControl(env.src, pkt)
 }
 
 // pushControl sends a zero-footprint control packet to peer.

@@ -26,9 +26,9 @@ type Request struct {
 	sbuf   []byte
 	rbuf   []byte
 	status Status
-	op     *sendOp
 	env    *envelope
 	err    error
+	noPool bool // excluded from request recycling (see pool.go)
 }
 
 // Done reports completion without progressing the engine (see Test).
@@ -145,11 +145,20 @@ func (r *Rank) bindEnvelope(env *envelope, req *Request) {
 	}
 }
 
-// completeRecv finishes a receive.
+// completeRecv finishes a receive and retires its envelope (staging buffer
+// included) to the pools.
 func (r *Rank) completeRecv(req *Request, env *envelope) {
+	if req.done {
+		// A zero-size HCA eager message completes inside bindEnvelope and
+		// again in handleHCAMessage; the second call must not double-free.
+		return
+	}
 	req.status = Status{Source: env.src, Tag: env.tag, Bytes: env.size}
 	req.done = true
 	r.trace("recv", env.path.String(), env.src, env.tag, env.ctx, env.size)
+	r.w.pools.buf.Put(env.staged)
+	req.env = nil
+	r.w.pools.envs.put(env)
 }
 
 // completeSend finishes a send (buffer reusable).
@@ -159,15 +168,14 @@ func (r *Rank) completeSend(req *Request) {
 
 // selfSend delivers a message a rank addresses to itself via one local copy.
 func (r *Rank) selfSend(req *Request) {
-	env := &envelope{
-		src: r.rank, tag: req.tag, size: len(req.sbuf),
-		ctx:  req.ctx,
-		path: core.PathSHMEager,
-		seq:  r.sendSeq[r.rank],
-	}
+	env := r.w.pools.envs.get()
+	env.src, env.tag, env.size = r.rank, req.tag, len(req.sbuf)
+	env.ctx = req.ctx
+	env.path = core.PathSHMEager
+	env.seq = r.sendSeq[r.rank]
 	r.sendSeq[r.rank]++
 	r.p.Advance(r.w.Opts.Params.MemCopy(len(req.sbuf), false))
-	env.staged = append([]byte(nil), req.sbuf...)
+	env.staged = r.w.pools.buf.GetCopy(req.sbuf)
 	env.received = env.size
 	env.complete = true
 	r.countOp(core.ChannelSHM, env.size)
@@ -198,7 +206,8 @@ func (r *Rank) isendCtx(dst, tag, ctx int, data []byte) *Request {
 	if dst < 0 || dst >= r.size {
 		r.p.Fatalf("Isend to rank %d outside world of size %d", dst, r.size)
 	}
-	req := &Request{r: r, isSend: true, peer: dst, tag: tag, ctx: ctx, sbuf: data}
+	req := r.getReq()
+	req.r, req.isSend, req.peer, req.tag, req.ctx, req.sbuf = r, true, dst, tag, ctx, data
 	if dst == r.rank {
 		r.trace("send", "self", req.peer, tag, ctx, len(data))
 		r.selfSend(req)
@@ -240,7 +249,8 @@ func (r *Rank) irecvCtx(src, tag, ctx int, buf []byte) *Request {
 	if src != AnySource && (src < 0 || src >= r.size) {
 		r.p.Fatalf("Irecv from rank %d outside world of size %d", src, r.size)
 	}
-	req := &Request{r: r, peer: src, tag: tag, ctx: ctx, rbuf: buf}
+	req := r.getReq()
+	req.r, req.peer, req.tag, req.ctx, req.rbuf = r, src, tag, ctx, buf
 	if env := r.matchUnexpected(src, tag, ctx); env != nil {
 		r.bindEnvelope(env, req)
 	} else if src != AnySource && r.deadPeers[src] {
@@ -352,7 +362,9 @@ func (r *Rank) Test(req *Request) (Status, bool) {
 func (r *Rank) Send(dst, tag int, data []byte) {
 	r.profEnter()
 	defer r.profExit("Send")
-	r.wait(r.isend(dst, tag, data))
+	req := r.isend(dst, tag, data)
+	r.wait(req)
+	r.putReq(req)
 }
 
 // Ssend is a blocking synchronous send (MPI_Ssend): it completes only after
@@ -365,7 +377,8 @@ func (r *Rank) Ssend(dst, tag int, data []byte) {
 	if dst == r.rank {
 		r.p.Fatalf("Ssend to self would deadlock (no receive can match within the call)")
 	}
-	req := &Request{r: r, isSend: true, peer: dst, tag: tag, sbuf: data}
+	req := r.getReq()
+	req.r, req.isSend, req.peer, req.tag, req.sbuf = r, true, dst, tag, data
 	switch path := r.pathFor(dst, len(data)); path {
 	case core.PathSHMEager, core.PathSHMRndv, core.PathCMARndv:
 		// Force the rendezvous flavor of the local channel.
@@ -380,13 +393,17 @@ func (r *Rank) Ssend(dst, tag int, data []byte) {
 		r.hcaRndvSend(req)
 	}
 	r.wait(req)
+	r.putReq(req)
 }
 
 // Recv is a blocking receive; it returns the matched status.
 func (r *Rank) Recv(src, tag int, buf []byte) Status {
 	r.profEnter()
 	defer r.profExit("Recv")
-	return r.wait(r.irecv(src, tag, buf))
+	req := r.irecv(src, tag, buf)
+	st := r.wait(req)
+	r.putReq(req)
+	return st
 }
 
 // Sendrecv performs a blocking combined send and receive (deadlock-free).
@@ -397,6 +414,8 @@ func (r *Rank) Sendrecv(dst, sendTag int, sendData []byte, src, recvTag int, rec
 	sq := r.isend(dst, sendTag, sendData)
 	st := r.wait(rq)
 	r.wait(sq)
+	r.putReq(rq)
+	r.putReq(sq)
 	return st
 }
 

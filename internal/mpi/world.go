@@ -3,8 +3,10 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"cmpi/internal/cluster"
+	"cmpi/internal/core"
 	"cmpi/internal/fault"
 	"cmpi/internal/ib"
 	"cmpi/internal/profile"
@@ -53,9 +55,15 @@ type World struct {
 
 	bodyStart, bodyEnd []sim.Time
 	ran                bool
+
+	// pools recycles hot-path objects and buffers; private to this world's
+	// engine (see pool.go).
+	pools worldPools
 }
 
-var jobCounter int
+// jobCounter is atomic: worlds are built concurrently by the parallel
+// experiment sweep, and the job id only needs uniqueness, not density.
+var jobCounter atomic.Int64
 
 // NewWorld builds a job on the given deployment.
 func NewWorld(d *cluster.Deployment, opts Options) (*World, error) {
@@ -65,13 +73,12 @@ func NewWorld(d *cluster.Deployment, opts Options) (*World, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
-	jobCounter++
 	w := &World{
 		Eng:        sim.NewEngine(),
 		Deploy:     d,
 		Opts:       opts,
 		shm:        shmem.NewRegistry(),
-		jobID:      fmt.Sprintf("job%d", jobCounter),
+		jobID:      fmt.Sprintf("job%d", jobCounter.Add(1)),
 		pairs:      make(map[pairKey]*pairShared),
 		rndv:       make(map[uint64]*rndvState),
 		winTable:   make(map[int]*winExchange),
@@ -152,6 +159,9 @@ func (w *World) Run(body func(r *Rank) error) error {
 		})
 	}
 	engErr := w.Eng.Run()
+	if w.Prof != nil {
+		w.Prof.Sim = w.SimStats()
+	}
 	var errs []error
 	for _, re := range w.rankErrs {
 		if re != nil {
@@ -206,6 +216,22 @@ func (w *World) failRank(r *Rank, cause error) {
 	}
 	if w.Opts.ErrHandler == ErrorsAreFatal {
 		r.p.Fail(re)
+	}
+}
+
+// SimStats snapshots the job's scheduler and pool statistics (host-time
+// diagnostics; none of it influences simulated results).
+func (w *World) SimStats() profile.SimStats {
+	es := w.Eng.Stats()
+	bc := w.pools.buf.Counters()
+	fc := w.fabric.PoolCounters()
+	return profile.SimStats{
+		Dispatched:     es.Dispatched,
+		StaleWakes:     es.StaleWakes,
+		CoalescedWakes: es.CoalescedWakes,
+		MaxHeapDepth:   es.MaxHeapDepth,
+		BufPool:        core.PoolCounters{Gets: bc.Gets + fc.Gets, Hits: bc.Hits + fc.Hits},
+		ObjPool:        w.pools.counters(),
 	}
 }
 

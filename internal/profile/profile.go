@@ -67,6 +67,27 @@ func (f FaultStats) Total() uint64 {
 	return f.Retransmits + f.RetryExhausted + f.ShmFallbacks + f.CMAFallbacks + f.DetectorFallbacks
 }
 
+// SimStats surfaces host-side engine and allocator-pool health for one job:
+// scheduler churn (dispatched events, dropped and coalesced wakes, event-queue
+// high-water mark) and buffer recycling effectiveness. These are host-time
+// diagnostics — they do not influence any simulated result.
+type SimStats struct {
+	// Dispatched is the number of events the engine popped and handled.
+	Dispatched uint64
+	// StaleWakes is the subset dropped as stale process wakes.
+	StaleWakes uint64
+	// CoalescedWakes counts duplicate wakes suppressed before enqueueing.
+	CoalescedWakes uint64
+	// MaxHeapDepth is the event queue's high-water mark.
+	MaxHeapDepth int
+	// BufPool aggregates the byte-buffer pools (runtime staging plus fabric
+	// wire snapshots).
+	BufPool core.PoolCounters
+	// ObjPool aggregates the object free lists (packets, ops, envelopes,
+	// requests).
+	ObjPool core.PoolCounters
+}
+
 // RankProfile is one rank's profile.
 type RankProfile struct {
 	// Rank is the global rank.
@@ -125,6 +146,8 @@ func (rp *RankProfile) ComputeTime() sim.Time {
 // Profile aggregates all ranks of one job.
 type Profile struct {
 	Ranks []*RankProfile
+	// Sim holds the job's engine/pool statistics, filled in by World.Run.
+	Sim SimStats
 }
 
 // New builds a profile for size ranks.

@@ -39,10 +39,20 @@ type Stats struct {
 	Resumes uint64
 	// StaleWakes is the subset dropped as stale process wakes.
 	StaleWakes uint64
+	// CoalescedWakes counts Unpark requests dropped before ever entering
+	// the queue because an identical-time wake was already pending (or the
+	// target process had finished).
+	CoalescedWakes uint64
+	// MaxHeapDepth is the high-water mark of the pending-event queue.
+	MaxHeapDepth int
 }
 
 // Stats returns a snapshot of scheduler counters.
-func (e *Engine) Stats() Stats { return e.stats }
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.MaxHeapDepth = e.pq.maxDepth
+	return s
+}
 
 // NewEngine returns an empty engine at virtual time zero.
 func NewEngine() *Engine {
@@ -149,6 +159,9 @@ func (e *Engine) Run() error {
 			continue
 		}
 		p := ev.proc
+		if p != nil && !ev.timer {
+			p.wakesQueued-- // this Unpark event has left the queue
+		}
 		if p == nil || !p.wantsWake(ev) {
 			e.stats.StaleWakes++
 			continue // stale wake: the condition it signalled was already consumed

@@ -410,3 +410,62 @@ func TestEngineStats(t *testing.T) {
 		t.Errorf("stats inconsistent: %+v", st)
 	}
 }
+
+func TestDuplicateSameTimeWakesCoalesce(t *testing.T) {
+	e := NewEngine()
+	var target *Proc
+	ready := false
+	wakes := 0
+	e.Go("target", func(p *Proc) {
+		target = p
+		for !ready {
+			p.Park()
+			wakes++
+		}
+	})
+	e.Go("waker", func(p *Proc) {
+		p.Sleep(10 * Nanosecond)
+		ready = true
+		target.UnparkAt(p.Now())
+		target.UnparkAt(p.Now()) // duplicate: same time, must coalesce
+		target.UnparkAt(p.Now())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wakes != 1 {
+		t.Errorf("wakes = %d, want 1 (duplicates coalesced)", wakes)
+	}
+	if st := e.Stats(); st.CoalescedWakes != 2 {
+		t.Errorf("coalesced = %d, want 2", st.CoalescedWakes)
+	}
+}
+
+func TestWakeForFinishedProcIsDropped(t *testing.T) {
+	e := NewEngine()
+	var target *Proc
+	e.Go("short", func(p *Proc) { target = p })
+	e.Go("late", func(p *Proc) {
+		p.Sleep(10 * Nanosecond)
+		target.UnparkAt(p.Now()) // target's body already returned
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.CoalescedWakes != 1 {
+		t.Errorf("coalesced = %d, want 1 (wake for done proc)", st.CoalescedWakes)
+	}
+}
+
+func TestStatsTrackHeapDepth(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 9; i++ {
+		e.At(Time(i)*Nanosecond, func() {})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.MaxHeapDepth != 9 {
+		t.Errorf("max heap depth = %d, want 9", st.MaxHeapDepth)
+	}
+}

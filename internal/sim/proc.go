@@ -49,6 +49,11 @@ type Proc struct {
 	yield    chan struct{}
 	panicked error
 
+	// wakesQueued / lastWakeAt track pending Unpark events so duplicate
+	// wakes for the same virtual time can be coalesced instead of queued.
+	wakesQueued int
+	lastWakeAt  Time
+
 	// Data is an arbitrary per-process slot for the layer above (the MPI
 	// runtime stores its per-rank state here).
 	Data any
@@ -134,12 +139,25 @@ func (p *Proc) Park() {
 // engine time). It may be called by other processes or scheduler callbacks.
 // Waking a process that is not parked when the wake fires is a harmless
 // no-op, so wakers never need to know whether the sleeper already left.
+//
+// Duplicate wakes are coalesced: if a wake for the exact same virtual time is
+// already queued, the new one is dropped. This is semantics-preserving — the
+// queued wake (pushed earlier, so popped no later) fires at the same virtual
+// time and parked processes re-check their condition on every wake, so the
+// only thing suppressed is a zero-cost spurious re-check. Wakes for a process
+// whose body already returned are likewise dropped.
 func (p *Proc) UnparkAt(at Time) {
 	if at < p.eng.now {
 		at = p.eng.now
 	}
+	if p.state == stateDone || (p.wakesQueued > 0 && p.lastWakeAt == at) {
+		p.eng.stats.CoalescedWakes++
+		return
+	}
 	p.eng.seq++
 	p.eng.pq.push(event{t: at, seq: p.eng.seq, proc: p})
+	p.wakesQueued++
+	p.lastWakeAt = at
 }
 
 // Fatalf aborts the whole simulation, recording a formatted error that
