@@ -1,0 +1,33 @@
+package sim
+
+import "testing"
+
+// Repro: a wake can be wrongly coalesced against an already-consumed wake.
+func TestCoalesceDropsNeededWake(t *testing.T) {
+	eng := NewEngine()
+	var r *Proc
+	flag := false
+	var wokeAt Time
+
+	r = eng.Go("r", func(p *Proc) {
+		for !flag {
+			p.Park()
+		}
+		wokeAt = p.Now()
+	})
+
+	eng.Go("a", func(p *Proc) {
+		r.UnparkAt(100) // e.g. a peer whose local clock ran ahead
+		r.UnparkAt(50)  // second wake, earlier time
+		p.Sleep(50)     // the t=50 wake pops and is consumed (spurious)
+		flag = true
+		r.UnparkAt(50) // the wake that matters — coalesced?
+	})
+
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wokeAt != 50 {
+		t.Fatalf("r observed flag at t=%v, want t=50 (wake was wrongly coalesced)", wokeAt)
+	}
+}
