@@ -8,6 +8,7 @@
 //	repro -full         # the paper's 16-host/256-rank geometry
 //	repro -list         # list experiment ids
 //	repro -j 4          # pin the sweep worker pool (default: GOMAXPROCS)
+//	repro -sim-j 4      # pin the in-world epoch dispatch width (default: 1)
 //	repro -bench-out BENCH_repro.json  # host-time benchmark snapshot
 package main
 
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"time"
 
 	"cmpi/internal/cluster"
@@ -30,6 +32,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text (for plotting)")
 	workers := flag.Int("j", 0, "experiment sweep workers; 0 = CMPI_SWEEP_WORKERS env or GOMAXPROCS (tables are byte-identical for any value)")
+	simWorkers := flag.Int("sim-j", 0, "epoch dispatch width inside each simulated world; 0 = CMPI_SIM_WORKERS env or 1 (results are byte-identical for any value)")
 	benchOut := flag.String("bench-out", "", "write a host-time benchmark snapshot (JSON) to this file and exit")
 	flag.Parse()
 
@@ -40,6 +43,11 @@ func main() {
 		return
 	}
 	experiments.SetWorkers(*workers)
+	if *simWorkers > 0 {
+		// Engines read the width from the environment at construction, so
+		// setting it here covers every world the experiments build.
+		os.Setenv("CMPI_SIM_WORKERS", strconv.Itoa(*simWorkers))
+	}
 
 	if *benchOut != "" {
 		if err := writeBenchSnapshot(*benchOut); err != nil {
@@ -98,6 +106,19 @@ type benchSnapshot struct {
 	Speedup        float64 `json:"full_table_speedup"`
 	PingPongNsMsg  float64 `json:"shm_pingpong_ns_per_msg"`
 	PingPongAllocs float64 `json:"shm_pingpong_allocs_per_msg"`
+
+	// 64-rank allreduce job at epoch dispatch width 1 vs N: the in-world
+	// parallel dispatch datapoint. A world collective couples every rank, so
+	// epochs collapse to one group and the two times should match — this row
+	// is the dispatch-overhead guard, not a speedup claim. Width comes from
+	// the pairwise row below, where independence actually exists.
+	SimWorkers            int     `json:"sim_workers"`
+	Allreduce64Width1     float64 `json:"allreduce64_width1_sec"`
+	Allreduce64WidthN     float64 `json:"allreduce64_widthN_sec"`
+	PairwiseWidth1        float64 `json:"pairwise64_width1_sec"`
+	PairwiseWidthN        float64 `json:"pairwise64_widthN_sec"`
+	PairwiseSpeedup       float64 `json:"pairwise64_speedup"`
+	PairwiseMaxBatchWidth int     `json:"pairwise64_max_batch_width"`
 }
 
 // regenAll runs every experiment at Quick scale and returns the wall time.
@@ -150,6 +171,67 @@ func measurePingPong(rounds int) (nsPerMsg, allocsPerMsg float64, err error) {
 	return float64(elapsed.Nanoseconds()) / msgs, float64(after.Mallocs-before.Mallocs) / msgs, nil
 }
 
+// world64 builds a 64-rank, 4-host containerized world with the epoch
+// dispatch width pinned.
+func world64(simWorkers int) (*mpi.World, error) {
+	spec := cluster.Spec{Hosts: 4, SocketsPerHost: 2, CoresPerSocket: 12, HCAsPerHost: 1}
+	d, err := cluster.Containers(cluster.MustNew(spec), 2, 64, cluster.PaperScenarioOpts())
+	if err != nil {
+		return nil, err
+	}
+	w, err := mpi.NewWorld(d, mpi.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	w.Eng.SetWorkers(simWorkers)
+	return w, nil
+}
+
+// measureAllreduce64 times iters 64-rank allreduces at the given dispatch
+// width and returns host seconds.
+func measureAllreduce64(simWorkers, iters int) (float64, error) {
+	w, err := world64(simWorkers)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	err = w.Run(func(r *mpi.Rank) error {
+		buf := mpi.EncodeInt64s(make([]int64, 128))
+		for i := 0; i < iters; i++ {
+			r.Allreduce(buf, mpi.SumInt64)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// measurePairwise64 times iters pairwise exchange rounds (rank <-> rank^1,
+// same container: 32 causally independent pairs) at the given dispatch width.
+// Returns host seconds and the max epoch width the engine observed.
+func measurePairwise64(simWorkers, iters int) (sec float64, width int, err error) {
+	w, err := world64(simWorkers)
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	err = w.Run(func(r *mpi.Rank) error {
+		partner := r.Rank() ^ 1
+		out := make([]byte, 4<<10)
+		in := make([]byte, 4<<10)
+		for i := 0; i < iters; i++ {
+			r.Sendrecv(partner, 0, out, partner, 0, in)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start).Seconds(), w.SimStats().MaxBatchWidth, nil
+}
+
 func writeBenchSnapshot(path string) error {
 	snap := benchSnapshot{
 		GOOS:       runtime.GOOS,
@@ -182,6 +264,26 @@ func writeBenchSnapshot(path string) error {
 	if snap.PingPongNsMsg, snap.PingPongAllocs, err = measurePingPong(100000); err != nil {
 		return err
 	}
+	snap.SimWorkers = runtime.GOMAXPROCS(0)
+	if snap.SimWorkers < 4 {
+		snap.SimWorkers = 4
+	}
+	fmt.Fprintf(os.Stderr, "64-rank dispatch-width points (1 vs %d)...\n", snap.SimWorkers)
+	if snap.Allreduce64Width1, err = measureAllreduce64(1, 200); err != nil {
+		return err
+	}
+	if snap.Allreduce64WidthN, err = measureAllreduce64(snap.SimWorkers, 200); err != nil {
+		return err
+	}
+	if snap.PairwiseWidth1, _, err = measurePairwise64(1, 2000); err != nil {
+		return err
+	}
+	if snap.PairwiseWidthN, snap.PairwiseMaxBatchWidth, err = measurePairwise64(snap.SimWorkers, 2000); err != nil {
+		return err
+	}
+	if snap.PairwiseWidthN > 0 {
+		snap.PairwiseSpeedup = snap.PairwiseWidth1 / snap.PairwiseWidthN
+	}
 	out, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
@@ -190,7 +292,8 @@ func writeBenchSnapshot(path string) error {
 	if err := os.WriteFile(path, out, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %.1fs -> %.1fs (%.2fx), pt2pt %.0f ns/msg, %.3f allocs/msg\n",
-		path, snap.SequentialSec, snap.ParallelSec, snap.Speedup, snap.PingPongNsMsg, snap.PingPongAllocs)
+	fmt.Printf("wrote %s: %.1fs -> %.1fs (%.2fx), pt2pt %.0f ns/msg, %.3f allocs/msg, pairwise64 %.2fx at width %d\n",
+		path, snap.SequentialSec, snap.ParallelSec, snap.Speedup, snap.PingPongNsMsg, snap.PingPongAllocs,
+		snap.PairwiseSpeedup, snap.PairwiseMaxBatchWidth)
 	return nil
 }

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"bytes"
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -18,7 +20,9 @@ import (
 var workerOverride atomic.Int64
 
 // Workers reports the sweep worker-pool size: an explicit SetWorkers value if
-// set, else the CMPI_SWEEP_WORKERS environment variable, else GOMAXPROCS.
+// set, else the CMPI_SWEEP_WORKERS environment variable, else GOMAXPROCS
+// capped by available memory. Explicit settings are taken at face value; only
+// the default is memory-aware.
 func Workers() int {
 	if n := int(workerOverride.Load()); n > 0 {
 		return n
@@ -28,7 +32,64 @@ func Workers() int {
 			return n
 		}
 	}
-	return runtime.GOMAXPROCS(0)
+	n := runtime.GOMAXPROCS(0)
+	if cap := memWorkerCap(); cap > 0 && cap < n {
+		n = cap
+	}
+	return n
+}
+
+// sweepWorkerBytes is a conservative per-worker memory budget: one in-flight
+// sweep point holds a full simulated world (rank goroutines, rings, windows,
+// fabric state) plus the allocator pools it warms up. The largest sweeps in
+// the suite (512-rank NPB-class worlds) stay well under this.
+const sweepWorkerBytes = 128 << 20
+
+// memWorkerCap derives a worker ceiling from the kernel's MemAvailable
+// estimate so that a default-width sweep on a small machine degrades to
+// fewer concurrent worlds instead of swapping. Returns 0 (no cap) when
+// /proc/meminfo is unreadable (non-Linux hosts).
+func memWorkerCap() int {
+	data, err := os.ReadFile("/proc/meminfo")
+	if err != nil {
+		return 0
+	}
+	avail := parseMemAvailable(data)
+	if avail <= 0 {
+		return 0
+	}
+	cap := int(avail / sweepWorkerBytes)
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+// parseMemAvailable extracts the MemAvailable value (bytes) from meminfo
+// content; 0 when absent or malformed.
+func parseMemAvailable(data []byte) int64 {
+	for len(data) > 0 {
+		line := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			data = nil
+		}
+		const key = "MemAvailable:"
+		if len(line) < len(key) || string(line[:len(key)]) != key {
+			continue
+		}
+		fields := strings.Fields(string(line[len(key):]))
+		if len(fields) == 0 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil || kb < 0 {
+			return 0
+		}
+		return kb << 10 // meminfo reports kB
+	}
+	return 0
 }
 
 // SetWorkers pins the sweep worker-pool size; n <= 0 restores the default.

@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+func TestParseMemAvailable(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want int64
+	}{
+		{"typical", "MemTotal:       16384000 kB\nMemFree:         1024000 kB\nMemAvailable:    8192000 kB\nBuffers:          204800 kB\n", 8192000 << 10},
+		{"first-line", "MemAvailable:    4096 kB\n", 4096 << 10},
+		{"absent", "MemTotal:       16384000 kB\nMemFree:         1024000 kB\n", 0},
+		{"malformed", "MemAvailable:    lots kB\n", 0},
+		{"empty", "", 0},
+		{"no-trailing-newline", "MemAvailable: 2048 kB", 2048 << 10},
+	}
+	for _, c := range cases {
+		if got := parseMemAvailable([]byte(c.in)); got != c.want {
+			t.Errorf("%s: parseMemAvailable = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestWorkersRespectsExplicitSettings(t *testing.T) {
+	// Explicit settings must bypass the memory cap entirely.
+	SetWorkers(3)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() = %d with SetWorkers(3)", got)
+	}
+	SetWorkers(0)
+	t.Setenv("CMPI_SWEEP_WORKERS", "7")
+	if got := Workers(); got != 7 {
+		t.Fatalf("Workers() = %d with CMPI_SWEEP_WORKERS=7", got)
+	}
+}
+
+func TestWorkersDefaultIsPositive(t *testing.T) {
+	SetWorkers(0)
+	t.Setenv("CMPI_SWEEP_WORKERS", "")
+	if got := Workers(); got < 1 {
+		t.Fatalf("Workers() = %d, want >= 1", got)
+	}
+}

@@ -34,24 +34,34 @@ type Fabric struct {
 	eng   *sim.Engine
 	prm   *perf.Params
 	ports []*port
-	qpn   int
+
+	// devices lists every opened device, for aggregating per-device pools.
+	// Appended only by OpenDevice, which runs during serialized job init.
+	devices []*Device
 
 	// inj, when non-nil, is the job's fault injector: link flap/degrade and
 	// loopback stall windows defer or stretch transfers, and send-drop events
 	// trigger RC retransmission. All queries happen at virtual-time points in
-	// engine context, so faulty runs stay deterministic.
+	// engine context, so faulty runs stay deterministic. Worlds with an
+	// injector run fully serialized (the MPI layer pins every rank to the
+	// Global resource), so the injector's budget state needs no sharding.
 	inj      *fault.Injector
 	retryCnt int      // RC retry_cnt: max retransmissions before QP error
 	retryTO  sim.Time // base retransmission timeout; doubles per retry
 	stats    FaultStats
-
-	// pool recycles wire snapshots and SRQ bounce buffers. Safe without a
-	// lock: the fabric belongs to one sequential engine.
-	pool core.BufPool
 }
 
-// PoolCounters reports the fabric buffer pool's hit statistics.
-func (f *Fabric) PoolCounters() core.PoolCounters { return f.pool.Counters() }
+// PoolCounters reports the fabric's aggregate buffer-pool hit statistics
+// (summed over per-device pools).
+func (f *Fabric) PoolCounters() core.PoolCounters {
+	var c core.PoolCounters
+	for _, d := range f.devices {
+		dc := d.pool.Counters()
+		c.Gets += dc.Gets
+		c.Hits += dc.Hits
+	}
+	return c
+}
 
 // FaultStats tallies transport-level fault handling on the fabric.
 type FaultStats struct {
@@ -115,7 +125,33 @@ type Device struct {
 	fabric *Fabric
 	// Env is the container (or native env) that opened the device.
 	Env *cluster.Container
+
+	// res holds the identity resources declared by Tag (owning rank, host);
+	// zero — i.e. sim.Global — until tagged.
+	res [2]sim.Res
+
+	// pool recycles wire snapshots and SRQ bounce buffers for traffic this
+	// device originates or absorbs. Per-device rather than per-fabric so that
+	// causally independent epoch groups never share a free list; a buffer may
+	// migrate to the consuming side's pool, which only moves capacity around.
+	pool core.BufPool
+
+	// devID is fixed at OpenDevice and qpnNext counts QPs created here, so
+	// CreateQP touches no fabric-shared state.
+	devID   int
+	qpnNext int
+
+	// evtFree recycles the deferred-delivery records behind PostSend, making
+	// its two scheduled events allocation-free in steady state.
+	evtFree []*sendEvt
 }
+
+// Tag declares the device's identity resources for parallel dispatch: the
+// owning rank's resource and its host's resource, in that order. Deferred
+// fabric events (message arrival, completion delivery) are tagged with both
+// endpoints' identities so the epoch scheduler can run independent RC pairs
+// concurrently. Untagged devices leave their events on sim.Global.
+func (d *Device) Tag(rank, host sim.Res) { d.res[0], d.res[1] = rank, host }
 
 // ErrNoDeviceAccess is returned when a non-privileged container opens the HCA.
 var ErrNoDeviceAccess = fmt.Errorf("ib: device not visible (container lacks --privileged)")
@@ -128,13 +164,15 @@ func (f *Fabric) OpenDevice(env *cluster.Container) (*Device, error) {
 	if !env.Privileged {
 		return nil, ErrNoDeviceAccess
 	}
-	return &Device{fabric: f, Env: env}, nil
+	d := &Device{fabric: f, Env: env, devID: len(f.devices)}
+	f.devices = append(f.devices, d)
+	return d, nil
 }
 
-// Recycle returns a bounce buffer received via CQE.Buf to the fabric pool.
+// Recycle returns a bounce buffer received via CQE.Buf to the device's pool.
 // Call it once the payload has been copied out; the CQE must not be touched
 // afterwards. Recycling nil or a foreign buffer is a no-op.
-func (d *Device) Recycle(buf []byte) { d.fabric.pool.Put(buf) }
+func (d *Device) Recycle(buf []byte) { d.pool.Put(buf) }
 
 // MR is a registered (pinned) memory region.
 type MR struct {
@@ -336,10 +374,12 @@ func (q *QP) EnableAutoRecv() { q.autoRecv = true }
 func (q *QP) QPN() int { return q.qpn }
 
 // CreateQP allocates a queue pair using the given CQs for send and receive
-// completions (they may be the same CQ).
+// completions (they may be the same CQ). QPNs are minted device-locally
+// (device index in the high bits) so concurrent epoch groups never contend
+// on a shared counter.
 func (d *Device) CreateQP(sendCQ, recvCQ *CQ) *QP {
-	d.fabric.qpn++
-	return &QP{dev: d, qpn: d.fabric.qpn, sendCQ: sendCQ, recvCQ: recvCQ}
+	d.qpnNext++
+	return &QP{dev: d, qpn: d.devID<<20 | d.qpnNext, sendCQ: sendCQ, recvCQ: recvCQ}
 }
 
 // Connect transitions a<->b into RTS as an RC pair. Both must be on the
@@ -358,6 +398,77 @@ func Connect(a, b *QP) error {
 // loopback reports whether the pair's endpoints share a host.
 func (q *QP) loopback() bool {
 	return q.dev.Env.Host == q.peer.dev.Env.Host
+}
+
+// resAll collects the resources a deferred event for this RC pair touches:
+// both endpoints' (rank, host) identity resources. All sim.Global when the
+// layer above never tagged the devices.
+func (q *QP) resAll() (r [4]sim.Res) {
+	r[0], r[1] = q.dev.res[0], q.dev.res[1]
+	if q.peer != nil {
+		r[2], r[3] = q.peer.dev.res[0], q.peer.dev.res[1]
+	}
+	return r
+}
+
+// sendEvt is a pooled deferred-event record for PostSend: one instance backs
+// the arrival at the peer, another the local transmit completion. Pooling
+// them (plus the static callbacks below) removes the two per-message closure
+// allocations from the eager hot path.
+type sendEvt struct {
+	q        *QP
+	t        sim.Time
+	snapshot []byte
+	n        int
+	imm      uint64
+	wrid     uint64
+	retries  int
+}
+
+// getEvt takes a record from the device free list.
+func (d *Device) getEvt() *sendEvt {
+	if n := len(d.evtFree); n > 0 {
+		ev := d.evtFree[n-1]
+		d.evtFree = d.evtFree[:n-1]
+		return ev
+	}
+	return &sendEvt{}
+}
+
+// putEvt clears and returns a record to the free list of the device that
+// minted it. Callers run in a group owning the sender's resources, so the
+// free list never crosses an epoch-group boundary.
+func (d *Device) putEvt(ev *sendEvt) {
+	*ev = sendEvt{}
+	d.evtFree = append(d.evtFree, ev)
+}
+
+// sendArrival lands a PostSend at the peer: SRQ-style bounce delivery, a
+// posted receive, or the early-arrival queue.
+func sendArrival(a any) {
+	ev := a.(*sendEvt)
+	q, peer := ev.q, ev.q.peer
+	switch {
+	case peer.autoRecv:
+		// Ownership of the bounce buffer transfers to the consumer, who
+		// returns it with Device.Recycle once the message is absorbed.
+		peer.recvCQ.push(ev.t, CQE{QP: peer, Op: OpRecv, Bytes: ev.n, Imm: ev.imm, Buf: ev.snapshot})
+	case len(peer.recvQ) > 0:
+		wqe := peer.recvQ[0]
+		peer.recvQ = peer.recvQ[1:]
+		peer.deliver(ev.t, wqe.wrid, wqe.buf, ev.snapshot, OpRecv, ev.imm)
+		q.dev.pool.Put(ev.snapshot)
+	default:
+		peer.inQ = append(peer.inQ, inbound{payload: ev.snapshot, imm: ev.imm, op: OpRecv, at: ev.t})
+	}
+	q.dev.putEvt(ev)
+}
+
+// sendTxEnd delivers the local OpSend completion once the wire is released.
+func sendTxEnd(a any) {
+	ev := a.(*sendEvt)
+	ev.q.sendCQ.push(ev.t, CQE{QP: ev.q, WRID: ev.wrid, Op: OpSend, Bytes: ev.n, Retries: ev.retries})
+	ev.q.dev.putEvt(ev)
 }
 
 // transitTimes books link resources for an n-byte transfer posted at t0 and
@@ -421,10 +532,11 @@ func (f *Fabric) retrySchedule(host int, t0 sim.Time) (at sim.Time, retries int,
 func (f *Fabric) breakPair(at sim.Time, q *QP, wrid uint64, op Opcode, retries int) {
 	peer := q.peer
 	q.broken, peer.broken = true, true
-	f.eng.At(at, func() {
+	r := q.resAll()
+	f.eng.AtRes(at, func() {
 		q.sendCQ.push(at, CQE{QP: q, WRID: wrid, Op: op, Status: WCRetryExceeded, Retries: retries})
 		peer.recvCQ.push(at, CQE{QP: peer, Op: OpRecv, Status: WCRemoteAbort})
-	})
+	}, r[0], r[1], r[2], r[3])
 }
 
 // flush completes a work request posted to a broken QP with WCFlushed on the
@@ -433,9 +545,9 @@ func (q *QP) flush(p *sim.Proc, wrid uint64, op Opcode) {
 	p.Advance(q.dev.fabric.prm.IBPostOverhead)
 	t := p.Now()
 	sq := q.sendCQ
-	q.dev.fabric.eng.At(t, func() {
+	q.dev.fabric.eng.AtRes(t, func() {
 		sq.push(t, CQE{QP: q, WRID: wrid, Op: op, Status: WCFlushed})
-	})
+	}, q.dev.res[0], q.dev.res[1])
 }
 
 func maxT(a, b sim.Time) sim.Time {
@@ -452,7 +564,7 @@ func (q *QP) PostRecv(p *sim.Proc, wrid uint64, buf []byte) {
 		msg := q.inQ[0]
 		q.inQ = q.inQ[1:]
 		q.deliver(maxT(p.Now(), msg.at), wrid, buf, msg.payload, msg.op, msg.imm)
-		q.dev.fabric.pool.Put(msg.payload) // copied into buf; wire snapshot is free
+		q.dev.pool.Put(msg.payload) // copied into buf; wire snapshot is free
 		return
 	}
 	q.recvQ = append(q.recvQ, recvWQE{wrid: wrid, buf: buf})
@@ -491,30 +603,16 @@ func (q *QP) PostSend(p *sim.Proc, wrid uint64, payload []byte, imm uint64) {
 		f.breakPair(t0, q, wrid, OpSend, retries)
 		return
 	}
-	snapshot := f.pool.GetCopy(payload)
+	snapshot := q.dev.pool.GetCopy(payload)
 	n := len(snapshot)
 	txEnd, arrival := f.transitTimes(q.dev.Env.Host.Index, q.peer.dev.Env.Host.Index, n+hdrBytes, t0)
-	peer := q.peer
-	f.eng.At(arrival, func() {
-		if peer.autoRecv {
-			// Ownership of the bounce buffer transfers to the consumer, who
-			// returns it with Device.Recycle once the message is absorbed.
-			peer.recvCQ.push(arrival, CQE{QP: peer, Op: OpRecv, Bytes: n, Imm: imm, Buf: snapshot})
-			return
-		}
-		if len(peer.recvQ) > 0 {
-			wqe := peer.recvQ[0]
-			peer.recvQ = peer.recvQ[1:]
-			peer.deliver(arrival, wqe.wrid, wqe.buf, snapshot, OpRecv, imm)
-			f.pool.Put(snapshot)
-			return
-		}
-		peer.inQ = append(peer.inQ, inbound{payload: snapshot, imm: imm, op: OpRecv, at: arrival})
-	})
-	sq := q.sendCQ
-	f.eng.At(txEnd, func() {
-		sq.push(txEnd, CQE{QP: q, WRID: wrid, Op: OpSend, Bytes: n, Retries: retries})
-	})
+	r := q.resAll()
+	ae := q.dev.getEvt()
+	ae.q, ae.t, ae.snapshot, ae.n, ae.imm = q, arrival, snapshot, n, imm
+	f.eng.AtArg(arrival, sendArrival, ae, r[0], r[1], r[2], r[3])
+	te := q.dev.getEvt()
+	te.q, te.t, te.n, te.wrid, te.retries = q, txEnd, n, wrid, retries
+	f.eng.AtArg(txEnd, sendTxEnd, te, r[0], r[1], r[2], r[3])
 }
 
 // hdrBytes models the transport header per message on the wire.
@@ -544,14 +642,15 @@ func (q *QP) PostWrite(p *sim.Proc, wrid uint64, src []byte, remote *MR, off int
 		f.breakPair(t0, q, wrid, OpWrite, retries)
 		return
 	}
-	snapshot := f.pool.GetCopy(src)
+	snapshot := q.dev.pool.GetCopy(src)
 	n := len(snapshot)
 	loop := q.loopback()
 	_, arrival := f.transitTimes(q.dev.Env.Host.Index, q.peer.dev.Env.Host.Index, n+hdrBytes, t0)
 	peer := q.peer
-	f.eng.At(arrival, func() {
+	r := q.resAll()
+	f.eng.AtRes(arrival, func() {
 		copy(remote.Buf[off:], snapshot)
-		f.pool.Put(snapshot)
+		q.dev.pool.Put(snapshot)
 		if withImm {
 			switch {
 			case peer.autoRecv:
@@ -564,13 +663,13 @@ func (q *QP) PostWrite(p *sim.Proc, wrid uint64, src []byte, remote *MR, off int
 				peer.inQ = append(peer.inQ, inbound{payload: nil, imm: imm, op: OpWriteImm, at: arrival})
 			}
 		}
-	})
+	}, r[0], r[1], r[2], r[3])
 	// Local completion after the ack returns (one extra wire hop).
 	ack := arrival + prm.IBWireLatency(loop)
 	sq := q.sendCQ
-	f.eng.At(ack, func() {
+	f.eng.AtRes(ack, func() {
 		sq.push(ack, CQE{QP: q, WRID: wrid, Op: OpWrite, Bytes: n, Retries: retries})
-	})
+	}, r[0], r[1], r[2], r[3])
 }
 
 // PostRead RDMA-reads len(dst) bytes from remote[off:] into dst. The remote
@@ -600,14 +699,15 @@ func (q *QP) PostRead(p *sim.Proc, wrid uint64, dst []byte, remote *MR, off int)
 	remoteBuf := remote.Buf
 	sq := q.sendCQ
 	qq := q
-	f.eng.At(reqArrive, func() {
+	r := q.resAll()
+	f.eng.AtRes(reqArrive, func() {
 		// Response hop: data flows remote -> local.
-		snapshot := f.pool.GetCopy(remoteBuf[off : off+len(dst)])
+		snapshot := qq.dev.pool.GetCopy(remoteBuf[off : off+len(dst)])
 		_, respArrive := f.transitTimes(dstHost, src, len(dst)+hdrBytes, reqArrive)
-		f.eng.At(respArrive, func() {
+		f.eng.AtRes(respArrive, func() {
 			copy(dst, snapshot)
-			f.pool.Put(snapshot)
+			qq.dev.pool.Put(snapshot)
 			sq.push(respArrive, CQE{QP: qq, WRID: wrid, Op: OpRead, Bytes: len(dst)})
-		})
-	})
+		}, r[0], r[1], r[2], r[3])
+	}, r[0], r[1], r[2], r[3])
 }

@@ -64,16 +64,16 @@ func TestShmEagerSteadyStateAllocs(t *testing.T) {
 }
 
 // TestHCAEagerSteadyStateAllocs locks in the pooled HCA eager path: wire
-// buffers and SRQ bounce buffers recycle through the fabric pool. The
-// residual is the engine's deferred-delivery closures, not per-message
-// buffers.
+// buffers and SRQ bounce buffers recycle through the device pools, and the
+// deferred-delivery events (arrival + transmit completion) come from the
+// device's sendEvt free list instead of per-message closures.
 func TestHCAEagerSteadyStateAllocs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("alloc measurement is slow")
 	}
 	per := perMessageAllocs(t, "2cont", core.ModeDefault, 512)
 	t.Logf("HCA eager: %.3f allocs/message", per)
-	if per > 3 {
-		t.Errorf("HCA eager send allocates %.3f/message in steady state; want ~2 (the deferred-delivery closures)", per)
+	if per > 0.5 {
+		t.Errorf("HCA eager send allocates %.3f/message in steady state; want ~0", per)
 	}
 }

@@ -1,0 +1,209 @@
+package mpi
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cmpi/internal/fault"
+)
+
+// Determinism of the conservative epoch dispatch: the same job must produce
+// byte-identical application results, profiles, and scheduler counters at
+// every dispatch width, including width one — eligible worlds always run
+// epoch dispatch, and group formation is decided by event times and
+// footprints alone, never by worker scheduling. (BarrierStalls is the one
+// counter that depends on the configured width; it is excluded below.)
+
+// mixedWorkload drives every channel in one job: SHM/CMA eager and
+// rendezvous inside containers, HCA eager and rendezvous across hosts,
+// world collectives, and a communicator split followed by subcommunicator
+// traffic (the serialized-dispatch transition).
+func mixedWorkload(r *Rank) error {
+	n := r.Size()
+	me := r.Rank()
+
+	// Eager ring exchange.
+	small := make([]byte, 64)
+	for i := range small {
+		small[i] = byte(me + i)
+	}
+	in := make([]byte, 64)
+	r.Sendrecv((me+1)%n, 1, small, (me-1+n)%n, 1, in)
+	if in[0] != byte((me-1+n)%n) {
+		return fmt.Errorf("ring: got %d", in[0])
+	}
+
+	// Rendezvous to the rank two over (crosses container and host borders).
+	big := make([]byte, 256<<10)
+	for i := range big {
+		big[i] = byte(me * (i + 1))
+	}
+	rq := r.Irecv(AnySource, 2, make([]byte, 256<<10))
+	r.Send((me+2)%n, 2, big)
+	r.Wait(rq)
+
+	// World collectives.
+	sum := EncodeInt64s([]int64{int64(me)})
+	r.Allreduce(sum, SumInt64)
+	if got := DecodeInt64s(sum)[0]; got != int64(n*(n-1)/2) {
+		return fmt.Errorf("allreduce: got %d", got)
+	}
+
+	// Split + subcommunicator traffic: flips the engine into serialized
+	// dispatch mid-run, the regression surface of the Gather deadlock.
+	sub := r.CommWorld().Split(me%2, me)
+	mine := []byte{byte(me)}
+	var all []byte
+	if sub.Rank() == 0 {
+		all = make([]byte, sub.Size())
+	}
+	sub.Gather(0, mine, all)
+	back := make([]byte, 1)
+	sub.Scatter(0, all, back)
+	if back[0] != byte(me) {
+		return fmt.Errorf("scatter: got %d", back[0])
+	}
+	r.Barrier()
+	return nil
+}
+
+// runDeterminismJob runs the workload at the given dispatch width and
+// returns (application transcript, scheduler transcript).
+func runDeterminismJob(t *testing.T, workers int, plan *fault.Plan) (string, string) {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Profile = true
+	opts.FaultPlan = plan
+	w := testWorld(t, "2host4cont", 16, opts)
+	w.Eng.SetWorkers(workers)
+	if err := w.Run(mixedWorkload); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+
+	var app strings.Builder
+	for _, rp := range w.Prof.Ranks {
+		fmt.Fprintf(&app, "rank%d mpi=%v app=%v", rp.Rank, rp.TotalMPI, rp.AppTime)
+		for _, call := range w.Prof.TopCalls() {
+			if d, ok := rp.MPITime[call]; ok {
+				fmt.Fprintf(&app, " %s=%v", call, d)
+			}
+		}
+		fmt.Fprintf(&app, " ops=%v bytes=%v\n", rp.Channels.Ops, rp.Channels.Bytes)
+	}
+	fmt.Fprintf(&app, "faults=%d\n", w.Prof.TotalFaults().Total())
+
+	st := w.SimStats()
+	sched := fmt.Sprintf("dispatched=%d stale=%d coalesced=%d heap=%d batches=%d width=%d",
+		st.Dispatched, st.StaleWakes, st.CoalescedWakes, st.MaxHeapDepth,
+		st.ParallelBatches, st.MaxBatchWidth)
+	return app.String(), sched
+}
+
+// TestEpochDispatchDeterministicResults locks in the tentpole invariant at
+// the MPI layer: application-visible results, profiles, and scheduler
+// counters are byte-identical for every dispatch width, including one.
+func TestEpochDispatchDeterministicResults(t *testing.T) {
+	baseApp, baseSched := runDeterminismJob(t, 1, nil)
+	for _, workers := range []int{2, 4, 8} {
+		app, sched := runDeterminismJob(t, workers, nil)
+		if app != baseApp {
+			t.Errorf("workers=%d: application transcript differs from width 1:\n--- w1 ---\n%s--- w%d ---\n%s", workers, baseApp, workers, app)
+		}
+		if sched != baseSched {
+			t.Errorf("workers=%d: scheduler counters differ from width 1:\n%s\nvs\n%s", workers, baseSched, sched)
+		}
+	}
+}
+
+// pairwiseWorkload exchanges messages only between even/odd partners in the
+// same container (rank me <-> me^1): the communication graph is 8 disjoint
+// pairs, so epoch dispatch must find independent groups. Footprints are
+// sticky — once a rank claims a pair it stays coupled to that peer — so any
+// globally coupled phase (a ring, a collective) would honestly collapse the
+// world into one group; this workload has none.
+func pairwiseWorkload(r *Rank) error {
+	me := r.Rank()
+	partner := me ^ 1
+	small := make([]byte, 64)
+	in := make([]byte, 64)
+	big := make([]byte, 256<<10)
+	bin := make([]byte, 256<<10)
+	for iter := 0; iter < 8; iter++ {
+		for i := range small {
+			small[i] = byte(me + i + iter)
+		}
+		r.Sendrecv(partner, 1, small, partner, 1, in)
+		if in[0] != byte(partner+iter) {
+			return fmt.Errorf("iter %d: got %d", iter, in[0])
+		}
+		rq := r.Irecv(partner, 2, bin)
+		r.Send(partner, 2, big)
+		r.Wait(rq)
+	}
+	return nil
+}
+
+// TestEpochDispatchEngages checks the parallel path actually finds
+// independence (epochs formed, more than one group observed) so the
+// determinism test above cannot silently pass by never forming a non-trivial
+// partition.
+func TestEpochDispatchEngages(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Profile = true
+	w := testWorld(t, "2host4cont", 16, opts)
+	w.Eng.SetWorkers(4)
+	if err := w.Run(pairwiseWorkload); err != nil {
+		t.Fatal(err)
+	}
+	st := w.SimStats()
+	if st.ParallelBatches == 0 {
+		t.Error("ParallelBatches = 0; epoch dispatch never engaged")
+	}
+	if st.MaxBatchWidth < 2 {
+		t.Errorf("MaxBatchWidth = %d; want >= 2 independent groups", st.MaxBatchWidth)
+	}
+}
+
+// TestFaultWorldsStaySequential checks the injector gate: a world with a
+// fault plan must run the classic sequential loop regardless of the
+// configured width — plan queries mutate shared state — and still produce
+// identical results at any width setting.
+func TestFaultWorldsStaySequential(t *testing.T) {
+	plan := func() *fault.Plan {
+		return fault.NewPlan().Straggler(3, 0, 0, 2.5)
+	}
+	baseApp, _ := runDeterminismJob(t, 1, plan())
+
+	opts := DefaultOptions()
+	opts.Profile = true
+	opts.FaultPlan = plan()
+	w := testWorld(t, "2host4cont", 16, opts)
+	w.Eng.SetWorkers(8)
+	if err := w.Run(mixedWorkload); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.SimStats(); st.ParallelBatches != 0 {
+		t.Errorf("ParallelBatches = %d with a fault plan; want sequential dispatch", st.ParallelBatches)
+	}
+
+	app, _ := runDeterminismJob(t, 8, plan())
+	if app != baseApp {
+		t.Errorf("fault world transcript differs across widths:\n--- w1 ---\n%s--- w8 ---\n%s", baseApp, app)
+	}
+}
+
+// TestEpochDispatchManyWorldsUnderRace runs several mixed jobs back to back
+// at width 8; under -race this shakes the group worker pool harder than a
+// single world does.
+func TestEpochDispatchManyWorldsUnderRace(t *testing.T) {
+	var base string
+	for trial := 0; trial < 4; trial++ {
+		app, _ := runDeterminismJob(t, 8, nil)
+		if trial == 0 {
+			base = app
+		} else if app != base {
+			t.Fatalf("trial %d transcript differs", trial)
+		}
+	}
+}

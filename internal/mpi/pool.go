@@ -4,8 +4,11 @@ import "cmpi/internal/core"
 
 // Free lists for the per-message hot-path objects: ring packets, send
 // operations, envelopes, requests and the byte buffers behind them. One set
-// per World; the engine resumes at most one process at a time, so no locking
-// is needed (the same reasoning as core.BufPool).
+// per Rank: gets and puts happen in the owning rank's process context, so
+// under epoch dispatch each pool is only touched by the group owning that
+// rank's resource — no locking needed (the same reasoning as core.BufPool).
+// Objects may migrate between ranks' pools (a packet allocated by the sender
+// retires into the receiver's list); only capacity moves, never live state.
 //
 // Lifetimes worth knowing before touching this code:
 //
@@ -72,7 +75,7 @@ func (wp *worldPools) counters() core.PoolCounters {
 }
 
 // getReq returns a zeroed Request from the pool.
-func (r *Rank) getReq() *Request { return r.w.pools.reqs.get() }
+func (r *Rank) getReq() *Request { return r.pools.reqs.get() }
 
 // putReq recycles a request the caller owns. Requests flagged noPool (HCA
 // rendezvous sends) and failed requests (their envelopes/ops may still be
@@ -81,12 +84,12 @@ func (r *Rank) putReq(req *Request) {
 	if req == nil || req.noPool || req.err != nil {
 		return
 	}
-	r.w.pools.reqs.put(req)
+	r.pools.reqs.put(req)
 }
 
 // getOp returns a send op holding both the sender and receiver references.
 func (r *Rank) getOp() *sendOp {
-	op := r.w.pools.ops.get()
+	op := r.pools.ops.get()
 	op.refs = 2
 	return op
 }
@@ -103,6 +106,6 @@ func (r *Rank) releaseOp(op *sendOp) {
 	if op.refs < 0 {
 		r.p.Fatalf("sendOp released twice (dst=%d tag=%d seq=%d)", op.dst, op.tag, op.seq)
 	}
-	r.w.pools.buf.Put(op.data)
-	r.w.pools.ops.put(op)
+	r.pools.buf.Put(op.data)
+	r.pools.ops.put(op)
 }

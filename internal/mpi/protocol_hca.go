@@ -26,9 +26,9 @@ func putHdr(kind uint8, ctx, src, tag, size int, seq, msgID uint64, payload []by
 }
 
 // putHdr is the pooled variant: the caller recycles the returned buffer with
-// r.w.pools.buf.Put once posted (PostSend snapshots synchronously).
+// r.pools.buf.Put once posted (PostSend snapshots synchronously).
 func (r *Rank) putHdr(kind uint8, ctx, src, tag, size int, seq, msgID uint64, payload []byte) []byte {
-	return encodeHdr(r.w.pools.buf.Get(hcaHdrLen+len(payload)), kind, ctx, src, tag, size, seq, msgID, payload)
+	return encodeHdr(r.pools.buf.Get(hcaHdrLen+len(payload)), kind, ctx, src, tag, size, seq, msgID, payload)
 }
 
 func encodeHdr(buf []byte, kind uint8, ctx, src, tag, size int, seq, msgID uint64, payload []byte) []byte {
@@ -72,6 +72,7 @@ func parseHdr(buf []byte) hcaMsg {
 // completes locally right away — classic eager semantics.
 func (r *Rank) hcaEagerSend(req *Request) {
 	prm := &r.w.Opts.Params
+	r.claimPair(req, req.peer, true)
 	qp := r.qpFor(req.peer)
 	seq := r.sendSeq[req.peer]
 	r.sendSeq[req.peer]++
@@ -79,7 +80,7 @@ func (r *Rank) hcaEagerSend(req *Request) {
 	r.p.Advance(prm.MemCopy(len(req.sbuf), false))
 	wire := r.putHdr(hcaEager, req.ctx, r.rank, req.tag, len(req.sbuf), seq, 0, req.sbuf)
 	qp.PostSend(r.p, 0, wire, 0)
-	r.w.pools.buf.Put(wire)
+	r.pools.buf.Put(wire)
 	r.countOp(core.ChannelHCA, len(req.sbuf))
 	r.completeSend(req)
 }
@@ -87,20 +88,25 @@ func (r *Rank) hcaEagerSend(req *Request) {
 // hcaRndvSend starts a rendezvous transfer: register the user buffer, send
 // RTS, and wait for the CTS to RDMA-write the payload.
 func (r *Rank) hcaRndvSend(req *Request) {
-	// The shared rendezvous table may reference this request until the
+	// The pair's rendezvous table may reference this request until the
 	// receiver's WRITE_IMM completion — after our own wait returns — so it
 	// must never be recycled.
 	req.noPool = true
+	r.claimPair(req, req.peer, true)
 	qp := r.qpFor(req.peer)
 	seq := r.sendSeq[req.peer]
 	r.sendSeq[req.peer]++
-	msgID := r.w.newMsgID()
-	r.w.rndv[msgID] = &rndvState{sreq: req}
+	msgID := r.newMsgID()
+	ps := r.w.pair(r.rank, req.peer)
+	if ps.rndv == nil {
+		ps.rndv = make(map[uint64]*rndvState)
+	}
+	ps.rndv[msgID] = &rndvState{sreq: req}
 	// Pin the payload for the later zero-copy RDMA write.
 	r.p.Advance(r.w.Opts.Params.IBRegister(len(req.sbuf)))
 	wire := r.putHdr(hcaRTS, req.ctx, r.rank, req.tag, len(req.sbuf), seq, msgID, nil)
 	qp.PostSend(r.p, 0, wire, 0)
-	r.w.pools.buf.Put(wire)
+	r.pools.buf.Put(wire)
 }
 
 // handleCQE dispatches one completion from the rank's CQ.
@@ -120,11 +126,16 @@ func (r *Rank) handleCQE(cqe ib.CQE) {
 		r.dev.Recycle(cqe.Buf)
 	case ib.OpWriteImm:
 		// Rendezvous payload landed in our posted buffer: complete the recv.
-		st := r.w.rndv[cqe.Imm]
+		peer, known := r.qpPeer[cqe.QP]
+		if !known {
+			r.p.Fatalf("WRITE_IMM on unknown QP %d", cqe.QP.QPN())
+		}
+		ps := r.w.pair(r.rank, peer)
+		st := ps.rndv[cqe.Imm]
 		if st == nil || st.rreq == nil {
 			r.p.Fatalf("WRITE_IMM for unknown rendezvous id %d", cqe.Imm)
 		}
-		delete(r.w.rndv, cqe.Imm)
+		delete(ps.rndv, cqe.Imm)
 		env := st.rreq.env
 		env.received = env.size
 		r.completeRecv(st.rreq, env)
@@ -161,7 +172,7 @@ func (r *Rank) handleCQE(cqe ib.CQE) {
 // error — rendezvous on either side, posted receives naming the peer, and
 // pending RDMA work requests — so no caller blocks forever.
 func (r *Rank) handleChannelError(cqe ib.CQE) {
-	peer, known := r.w.qpRemote[cqe.QP]
+	peer, known := r.qpPeer[cqe.QP]
 	if !known {
 		r.p.Fatalf("error completion %v on unknown QP %d", cqe.Status, cqe.QP.QPN())
 	}
@@ -178,20 +189,20 @@ func (r *Rank) handleChannelError(cqe ib.CQE) {
 	first := !r.deadPeers[peer]
 	r.deadPeers[peer] = true
 
-	// Fail this rank's side of every rendezvous crossing the dead channel.
-	// The far end cleans up its own side when its error CQE arrives. Map
-	// iteration is unordered, so collect and sort ids for determinism.
+	// Fail this rank's side of every rendezvous crossing the dead channel
+	// (the pair's table holds exactly those). The far end cleans up its own
+	// side when its error CQE arrives. Map iteration is unordered, so collect
+	// and sort ids for determinism.
+	psDead := r.w.pair(r.rank, peer)
 	var ids []uint64
-	for id, st := range r.w.rndv {
-		if st.sreq != nil && st.sreq.r == r && st.sreq.peer == peer {
-			ids = append(ids, id)
-		} else if st.rreq != nil && st.rreq.r == r && st.rreq.env != nil && st.rreq.env.src == peer {
+	for id, st := range psDead.rndv {
+		if (st.sreq != nil && st.sreq.r == r) || (st.rreq != nil && st.rreq.r == r) {
 			ids = append(ids, id)
 		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		st := r.w.rndv[id]
+		st := psDead.rndv[id]
 		if st.sreq != nil && st.sreq.r == r {
 			r.failRequest(st.sreq, ce)
 			st.sreq = nil
@@ -228,7 +239,7 @@ func (r *Rank) handleHCAMessage(m hcaMsg) {
 	prm := &r.w.Opts.Params
 	switch m.kind {
 	case hcaEager:
-		env := r.w.pools.envs.get()
+		env := r.pools.envs.get()
 		env.src, env.tag, env.ctx, env.size, env.seq = m.src, m.tag, m.ctx, m.size, m.seq
 		env.path, env.hca = core.PathHCAEager, true
 		if req := r.matchPosted(m.src, m.tag, m.ctx); req != nil {
@@ -244,13 +255,13 @@ func (r *Rank) handleHCAMessage(m hcaMsg) {
 			return
 		}
 		// Unexpected: stage a copy so the wire bounce buffer can recycle.
-		env.staged = r.w.pools.buf.GetCopy(m.payload[:m.size])
+		env.staged = r.pools.buf.GetCopy(m.payload[:m.size])
 		env.received = m.size
 		env.complete = true
 		r.unexpected = append(r.unexpected, env)
 
 	case hcaRTS:
-		env := r.w.pools.envs.get()
+		env := r.pools.envs.get()
 		env.src, env.tag, env.ctx, env.size, env.seq = m.src, m.tag, m.ctx, m.size, m.seq
 		env.path, env.hca, env.msgID = core.PathHCARndv, true, m.msgID
 		if req := r.matchPosted(m.src, m.tag, m.ctx); req != nil {
@@ -262,7 +273,7 @@ func (r *Rank) handleHCAMessage(m hcaMsg) {
 	case hcaCTS:
 		// We are the rendezvous sender: RDMA-write the payload into the
 		// receiver's registered buffer, then complete on the write CQE.
-		st := r.w.rndv[m.msgID]
+		st := r.w.pair(r.rank, m.src).rndv[m.msgID]
 		if st == nil || st.mr == nil {
 			r.p.Fatalf("CTS for unknown rendezvous id %d", m.msgID)
 		}
@@ -280,7 +291,7 @@ func (r *Rank) handleHCAMessage(m hcaMsg) {
 // hcaSendCTS registers the receive buffer and releases the rendezvous
 // sender (called when an RTS matches a posted receive).
 func (r *Rank) hcaSendCTS(env *envelope, req *Request) {
-	st := r.w.rndv[env.msgID]
+	st := r.w.pair(r.rank, env.src).rndv[env.msgID]
 	if st == nil {
 		r.p.Fatalf("RTS for unknown rendezvous id %d", env.msgID)
 	}
@@ -289,5 +300,5 @@ func (r *Rank) hcaSendCTS(env *envelope, req *Request) {
 	qp := r.qpFor(env.src)
 	wire := r.putHdr(hcaCTS, env.ctx, r.rank, env.tag, env.size, env.seq, env.msgID, nil)
 	qp.PostSend(r.p, 0, wire, 0)
-	r.w.pools.buf.Put(wire)
+	r.pools.buf.Put(wire)
 }

@@ -128,7 +128,7 @@ func (s *shmRing) drain(r *Rank) bool {
 		d.head++
 		d.used -= pkt.footprint
 		r.handleShmPacket(s, pkt)
-		r.w.pools.pkts.put(pkt) // drain is the single consumption point
+		r.pools.pkts.put(pkt) // drain is the single consumption point
 		adv = true
 	}
 	if d.head == len(d.q) {
@@ -174,6 +174,9 @@ type sendOp struct {
 // If the pair's shared ring cannot be attached (injected fault), the send
 // degrades to the HCA channel — the stock path for non-colocated peers.
 func (r *Rank) enqueueShmSend(req *Request, path core.Path) {
+	// Claim the pair before any ring state is touched (the attach itself
+	// publishes into both ranks' localPairs lists).
+	r.claimPair(req, req.peer, false)
 	if _, err := r.ringFor(req.peer); err != nil {
 		r.trace("shm-fallback", "hca", req.peer, req.tag, req.ctx, len(req.sbuf))
 		if r.prof != nil {
@@ -192,7 +195,7 @@ func (r *Rank) enqueueShmSend(req *Request, path core.Path) {
 	op.tag = req.tag
 	op.ctx = req.ctx
 	op.seq = r.sendSeq[req.peer]
-	op.data = r.w.pools.buf.GetCopy(req.sbuf)
+	op.data = r.pools.buf.GetCopy(req.sbuf)
 	op.path = path
 	r.sendSeq[req.peer]++
 	if path == core.PathSHMEager {
@@ -275,12 +278,12 @@ func (r *Rank) pushOp(d *ringDir, op *sendOp) bool {
 	if op.state == opRTSPending {
 		// Rendezvous envelope: a zero-footprint control packet carrying
 		// the message metadata and the sender's buffer handle.
-		pkt := r.w.pools.pkts.get()
+		pkt := r.pools.pkts.get()
 		pkt.kind, pkt.seq, pkt.tag, pkt.ctx, pkt.size = pktRTS, op.seq, op.tag, op.ctx, len(op.data)
 		pkt.sop, pkt.path = op, op.path
 		r.p.Advance(prm.ShmPostOverhead)
 		if !d.tryPush(r, pkt) {
-			r.w.pools.pkts.put(pkt)
+			r.pools.pkts.put(pkt)
 			return false
 		}
 		op.firstPushed = true
@@ -307,7 +310,7 @@ func (r *Rank) pushOp(d *ringDir, op *sendOp) bool {
 		if !op.firstPushed {
 			kind = pktEagerFirst
 		}
-		pkt := r.w.pools.pkts.get()
+		pkt := r.pools.pkts.get()
 		pkt.kind, pkt.seq, pkt.tag, pkt.ctx, pkt.size = kind, op.seq, op.tag, op.ctx, len(op.data)
 		pkt.payload = op.data[op.offset : op.offset+n]
 		pkt.footprint = n + pktHeaderBytes
@@ -317,7 +320,7 @@ func (r *Rank) pushOp(d *ringDir, op *sendOp) bool {
 		// sender's failed poll-and-retry work.
 		r.p.Advance(prm.ShmPostOverhead + prm.MemCopy(n, cs) + r.containerOverhead())
 		if !d.tryPush(r, pkt) {
-			r.w.pools.pkts.put(pkt)
+			r.pools.pkts.put(pkt)
 			return adv
 		}
 		r.countOp(core.ChannelSHM, n)
@@ -338,7 +341,7 @@ func (r *Rank) handleShmPacket(ring *shmRing, pkt *shmPacket) {
 	switch pkt.kind {
 	case pktEagerFirst, pktRTS:
 		r.p.Advance(prm.ShmPollOverhead)
-		env := r.w.pools.envs.get()
+		env := r.pools.envs.get()
 		env.src, env.tag, env.ctx, env.size, env.seq = src, pkt.tag, pkt.ctx, pkt.size, pkt.seq
 		env.path, env.sop = pkt.path, pkt.sop
 		if pkt.kind == pktEagerFirst {
@@ -356,7 +359,7 @@ func (r *Rank) handleShmPacket(ring *shmRing, pkt *shmPacket) {
 			}
 		} else {
 			if pkt.kind == pktEagerFirst {
-				env.staged = r.w.pools.buf.Get(pkt.size)
+				env.staged = r.pools.buf.Get(pkt.size)
 			}
 			r.unexpected = append(r.unexpected, env)
 		}
@@ -449,7 +452,7 @@ func (r *Rank) performCMARead(env *envelope, req *Request) {
 		r.p.Fatalf("CMA read from rank %d: %v", env.src, err)
 	}
 	r.countOp(core.ChannelCMA, env.size)
-	pkt := r.w.pools.pkts.get()
+	pkt := r.pools.pkts.get()
 	pkt.kind, pkt.sop = pktFIN, env.sop
 	r.pushControl(env.src, pkt)
 	// The payload has been read out; drop the receiver's reference (the
@@ -462,7 +465,7 @@ func (r *Rank) performCMARead(env *envelope, req *Request) {
 // sendCTS releases a SHM-staged rendezvous sender.
 func (r *Rank) sendCTS(env *envelope) {
 	r.streams[streamKey{src: env.src, seq: env.seq}] = env
-	pkt := r.w.pools.pkts.get()
+	pkt := r.pools.pkts.get()
 	pkt.kind, pkt.sop = pktCTS, env.sop
 	r.pushControl(env.src, pkt)
 }

@@ -29,6 +29,12 @@ type Request struct {
 	env    *envelope
 	err    error
 	noPool bool // excluded from request recycling (see pool.go)
+
+	// Epoch-dispatch claim (parallel worlds): while hasClaim, this request
+	// keeps claimPeer's rank merged into the owner's footprint (see
+	// Rank.claimPair). Released at completion or failure.
+	claimPeer int
+	hasClaim  bool
 }
 
 // Done reports completion without progressing the engine (see Test).
@@ -47,6 +53,7 @@ func (r *Rank) failRequest(req *Request, cause error) {
 	}
 	req.err = cause
 	req.done = true
+	r.releaseClaim(req)
 	for i, pr := range r.posted {
 		if pr == req {
 			r.posted = append(r.posted[:i], r.posted[i+1:]...)
@@ -124,6 +131,13 @@ func (r *Rank) bindEnvelope(env *envelope, req *Request) {
 	env.req = req
 	req.env = env
 	switch env.path {
+	case core.PathCMARndv, core.PathSHMRndv, core.PathHCARndv:
+		// Rendezvous pulls data from (or signals) the sender: claim the pair
+		// before the first cross-rank touch. env.src is concrete even for
+		// AnySource receives.
+		r.claimPair(req, env.src, env.path == core.PathHCARndv)
+	}
+	switch env.path {
 	case core.PathCMARndv:
 		r.performCMARead(env, req)
 	case core.PathSHMRndv:
@@ -155,27 +169,29 @@ func (r *Rank) completeRecv(req *Request, env *envelope) {
 	}
 	req.status = Status{Source: env.src, Tag: env.tag, Bytes: env.size}
 	req.done = true
+	r.releaseClaim(req)
 	r.trace("recv", env.path.String(), env.src, env.tag, env.ctx, env.size)
-	r.w.pools.buf.Put(env.staged)
+	r.pools.buf.Put(env.staged)
 	req.env = nil
-	r.w.pools.envs.put(env)
+	r.pools.envs.put(env)
 }
 
 // completeSend finishes a send (buffer reusable).
 func (r *Rank) completeSend(req *Request) {
 	req.done = true
+	req.r.releaseClaim(req)
 }
 
 // selfSend delivers a message a rank addresses to itself via one local copy.
 func (r *Rank) selfSend(req *Request) {
-	env := r.w.pools.envs.get()
+	env := r.pools.envs.get()
 	env.src, env.tag, env.size = r.rank, req.tag, len(req.sbuf)
 	env.ctx = req.ctx
 	env.path = core.PathSHMEager
 	env.seq = r.sendSeq[r.rank]
 	r.sendSeq[r.rank]++
 	r.p.Advance(r.w.Opts.Params.MemCopy(len(req.sbuf), false))
-	env.staged = r.w.pools.buf.GetCopy(req.sbuf)
+	env.staged = r.pools.buf.GetCopy(req.sbuf)
 	env.received = env.size
 	env.complete = true
 	r.countOp(core.ChannelSHM, env.size)

@@ -47,6 +47,13 @@ type Rank struct {
 	collSeq    int
 	localPairs []*pairShared
 
+	// epoch-dispatch state (parallel worlds; see Rank.footprint)
+	parallelReady bool           // past the post-init barrier: footprint may narrow
+	touchedPairs  []*pairShared  // pairs this rank ever claimed (footprint enumeration)
+	msgSeq        uint64         // rank-local rendezvous id sequence
+	qpPeer        map[*ib.QP]int // QP → far-end rank (rank-private completion routing)
+	pools         worldPools     // per-rank free lists (see pool.go)
+
 	// fault state
 	hasCrash  bool
 	crashAt   sim.Time     // scheduled death (valid when hasCrash)
@@ -75,6 +82,7 @@ func newRank(w *World, i int) *Rank {
 		dstListed: make(map[int]bool),
 		wridOps:   make(map[uint64]*wridRef),
 		streams:   make(map[streamKey]*envelope),
+		qpPeer:    make(map[*ib.QP]int),
 	}
 	if w.Prof != nil {
 		r.prof = w.Prof.Ranks[i]
@@ -139,6 +147,9 @@ func (r *Rank) init() error {
 	if r.dev != nil {
 		r.cq = r.dev.CreateCQ()
 		r.cq.SetWaiter(r.p)
+		// Tag the device so its deferred fabric events carry this rank's and
+		// host's resources for epoch dispatch.
+		r.dev.Tag(r.w.resRank(r.rank), r.w.resHost(r.env.Host.Index))
 	}
 
 	// Container Locality Detector (the paper's design) publishes before the
@@ -237,18 +248,129 @@ func (r *Rank) finalizeCheck() {
 // channel, a dead CMA channel forces SHM-staged rendezvous.
 func (r *Rank) pathFor(peer, size int) core.Path {
 	path := core.SelectPath(r.w.Opts.Mode, r.w.Opts.Tunables, r.caps[peer], size)
-	if ps, ok := r.w.pairs[keyFor(r.rank, peer)]; ok {
-		switch {
-		case ps.shmDead() && path != core.PathHCAEager && path != core.PathHCARndv:
-			if size <= r.w.Opts.Tunables.IBAEagerThreshold {
-				return core.PathHCAEager
-			}
-			return core.PathHCARndv
-		case ps.cmaDead && path == core.PathCMARndv:
-			return core.PathSHMRndv
+	ps := r.w.pair(r.rank, peer)
+	switch {
+	case ps.shmDead() && path != core.PathHCAEager && path != core.PathHCARndv:
+		if size <= r.w.Opts.Tunables.IBAEagerThreshold {
+			return core.PathHCAEager
 		}
+		return core.PathHCARndv
+	case ps.cmaDead && path == core.PathCMARndv:
+		return core.PathSHMRndv
 	}
 	return path
+}
+
+// footprint declares the resources this rank's process may touch during the
+// next epoch of parallel dispatch: its own rank resource, plus — for every
+// pair it has ever claimed — the peer's rank resource, and both hosts' port
+// resources once the pair has used the HCA channel. During init, or after the
+// world serializes (communicator/RMA global tables in play), the footprint is
+// Global and the rank joins the one serialized group. Called in scheduler
+// context at epoch formation; reads only formation-stable state.
+//
+// Footprints are sticky: a pair stays in the footprint after its claims
+// drain. Dropping it would let the two ranks' groups split between messages
+// and re-merge on the next claim — and during the claim's regroup epoch the
+// established group keeps dispatching, running ahead in virtual time on
+// shared fabric state (port bandwidth queues) that the claimer then mutates
+// at an earlier timestamp. Those ordering inversions are exactly what the
+// conservative contract must rule out: timing-model state must observe its
+// events in virtual-time order. Steady communication patterns therefore
+// converge to stable groups — globally coupled patterns (alltoall) to one
+// group, which is honest: they have no causal independence to exploit.
+func (r *Rank) footprint(buf []sim.Res) []sim.Res {
+	w := r.w
+	if !r.parallelReady || w.serial.Load() {
+		// Keep the rank's own resource alongside Global so in-flight tagged
+		// fabric events (which name rank and host resources, never Global)
+		// still merge into the one serialized group instead of forming a
+		// concurrent sibling.
+		return append(buf, sim.Global, w.resRank(r.rank))
+	}
+	buf = append(buf, w.resRank(r.rank))
+	hosts := false
+	for _, ps := range r.touchedPairs {
+		peer := ps.other(r.rank)
+		buf = append(buf, w.resRank(peer))
+		if ps.hca[0] || ps.hca[1] {
+			hosts = true
+			buf = append(buf, w.resHost(w.Deploy.Placements[peer].Env.Host.Index))
+		}
+	}
+	if hosts {
+		buf = append(buf, w.resHost(r.env.Host.Index))
+	}
+	return buf
+}
+
+// claimPair declares that req will touch peer's state (matching queues,
+// rings, rendezvous table) until it completes. The claim widens this rank's
+// footprint to cover the peer — and both hosts' ports when the HCA carries
+// the traffic — and, if the current epoch group does not own those resources
+// yet, yields so the next epoch merges the two ranks' groups. Call at
+// protocol entry, before the first cross-rank touch.
+func (r *Rank) claimPair(req *Request, peer int, hca bool) {
+	if !r.w.parallel || peer == r.rank || req.hasClaim {
+		return
+	}
+	ps := r.w.pair(r.rank, peer)
+	si := ps.side(r.rank)
+	ps.claims[si]++
+	if hca && !ps.hca[si] {
+		ps.hca[si] = true
+	}
+	if !ps.listed[si] {
+		ps.listed[si] = true
+		r.touchedPairs = append(r.touchedPairs, ps)
+	}
+	req.claimPeer = peer
+	req.hasClaim = true
+	if !r.canTouchPair(ps) {
+		r.p.YieldRegroup()
+	}
+}
+
+// canTouchPair reports whether the current epoch group owns everything a
+// claimed pair needs.
+func (r *Rank) canTouchPair(ps *pairShared) bool {
+	peer := ps.other(r.rank)
+	if !r.p.CanTouch(r.w.resRank(peer)) {
+		return false
+	}
+	if ps.hca[0] || ps.hca[1] {
+		if !r.p.CanTouch(r.w.resHost(r.env.Host.Index)) ||
+			!r.p.CanTouch(r.w.resHost(r.w.Deploy.Placements[peer].Env.Host.Index)) {
+			return false
+		}
+	}
+	return true
+}
+
+// releaseClaim drops req's pair claim (request completion or failure).
+func (r *Rank) releaseClaim(req *Request) {
+	if !req.hasClaim {
+		return
+	}
+	req.hasClaim = false
+	ps := r.w.pair(r.rank, req.claimPeer)
+	ps.claims[ps.side(r.rank)]--
+}
+
+// ensureSerial permanently collapses the world to sequential dispatch: every
+// rank's footprint reads Global from the next epoch on. Used by the rare
+// operations that share job-global tables (communicator context allocation,
+// RMA window exchange) where per-pair claims cannot express the dependency.
+// The caller still holds only its own group's resources this epoch, so it
+// yields until its group owns Global.
+func (r *Rank) ensureSerial() {
+	if !r.w.parallel {
+		return
+	}
+	r.w.serial.Store(true)
+	if !r.p.CanTouch(sim.Global) {
+		r.p.YieldRegroup()
+	}
 }
 
 // crossSocket reports whether r and peer are pinned to different sockets

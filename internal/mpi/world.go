@@ -37,18 +37,17 @@ type World struct {
 	inj *fault.Injector
 	// rankErrs records each rank's failure (as *RankError) for aggregation.
 	rankErrs []error
-	// qpRemote maps each QP back to the rank at its far end, for routing
-	// error completions to a ChannelError naming the peer.
-	qpRemote map[*ib.QP]int
 
 	// out-of-band PMI barrier state
 	pmiGen     int
 	pmiArrived int
 	pmiLatest  sim.Time
 
-	pairs      map[pairKey]*pairShared
-	nextMsgID  uint64
-	rndv       map[uint64]*rndvState
+	// pairTab holds every rank pair's connection state, preallocated flat
+	// (triangular index) so pair() is a read-only lookup — safe from any
+	// epoch group, with each entry touched only by groups owning one of the
+	// pair's rank resources.
+	pairTab    []pairShared
 	winTable   map[int]*winExchange
 	detLock    map[*cluster.Host]sim.Time // per-host lock free-time (LockedDetector ablation)
 	ctxCounter int                        // last communicator context id handed out
@@ -56,9 +55,15 @@ type World struct {
 	bodyStart, bodyEnd []sim.Time
 	ran                bool
 
-	// pools recycles hot-path objects and buffers; private to this world's
-	// engine (see pool.go).
-	pools worldPools
+	// parallel is set in Run when this world installs rank footprints for
+	// the engine's conservative epoch dispatch: workers > 1 and neither
+	// fault injection nor message tracing in play (both observe global
+	// ordering, so those worlds stay on the sequential loop).
+	parallel bool
+	// serial flips (sticky) when a rank touches job-global tables that the
+	// claim protocol does not cover — communicator context ids, RMA window
+	// exchange. Every footprint collapses to Global at the next epoch.
+	serial atomic.Bool
 }
 
 // jobCounter is atomic: worlds are built concurrently by the parallel
@@ -79,15 +84,20 @@ func NewWorld(d *cluster.Deployment, opts Options) (*World, error) {
 		Opts:       opts,
 		shm:        shmem.NewRegistry(),
 		jobID:      fmt.Sprintf("job%d", jobCounter.Add(1)),
-		pairs:      make(map[pairKey]*pairShared),
-		rndv:       make(map[uint64]*rndvState),
 		winTable:   make(map[int]*winExchange),
 		detLock:    make(map[*cluster.Host]sim.Time),
 		ctxCounter: worldCtx,
 		bodyStart:  make([]sim.Time, d.Size()),
 		bodyEnd:    make([]sim.Time, d.Size()),
 		rankErrs:   make([]error, d.Size()),
-		qpRemote:   make(map[*ib.QP]int),
+	}
+	n := d.Size()
+	w.pairTab = make([]pairShared, n*(n-1)/2)
+	for hi := 1; hi < n; hi++ {
+		for lo := 0; lo < hi; lo++ {
+			ps := &w.pairTab[pairIdx(lo, hi)]
+			ps.lo, ps.hi = lo, hi
+		}
 	}
 	w.fabric = ib.NewFabric(w.Eng, &w.Opts.Params, d.Cluster)
 	inj, err := fault.NewInjector(opts.FaultPlan, d.Cluster.Spec.Hosts, d.Size())
@@ -127,9 +137,18 @@ func (w *World) Run(body func(r *Rank) error) error {
 		return fmt.Errorf("mpi: World.Run called twice; build a fresh World per job")
 	}
 	w.ran = true
+	// Epoch dispatch engages for every world with no observer of global event
+	// order — at any width, including one. Group formation is decided by event
+	// times and footprints alone, so a width-1 run executes the exact same
+	// groups (serially, in group-index order) as a width-N run: worker count
+	// can never change simulated results. The fault injector's queries mutate
+	// shared plan state, and trace output interleaves by wall-dispatch order,
+	// so those worlds run the classic sequential loop (which also keeps
+	// Eng.Now()-based fault timestamps exact).
+	w.parallel = w.inj == nil && w.Opts.Trace == nil
 	for i := range w.ranks {
 		r := w.ranks[i]
-		w.Eng.Go(fmt.Sprintf("rank%d", r.rank), func(p *sim.Proc) {
+		p := w.Eng.Go(fmt.Sprintf("rank%d", r.rank), func(p *sim.Proc) {
 			r.p = p
 			if at, ok := w.inj.CrashTime(r.rank); ok {
 				r.hasCrash, r.crashAt = true, at
@@ -145,6 +164,10 @@ func (w *World) Run(body func(r *Rank) error) error {
 				p.Fatalf("MPI_Init: %v", err)
 			}
 			w.pmiBarrier(r)
+			// Init shares job-global state (PMI, detector segment, device
+			// discovery); only past this barrier does the rank's footprint
+			// narrow from Global to its claimed pairs.
+			r.parallelReady = true
 			w.bodyStart[r.rank] = p.Now()
 			err := w.runBody(r, body)
 			w.bodyEnd[r.rank] = p.Now()
@@ -157,6 +180,10 @@ func (w *World) Run(body func(r *Rank) error) error {
 			}
 			r.finalizeCheck()
 		})
+		if w.parallel {
+			p.SetRes(w.resRank(r.rank))
+			p.SetFootprint(r.footprint)
+		}
 	}
 	engErr := w.Eng.Run()
 	if w.Prof != nil {
@@ -223,15 +250,26 @@ func (w *World) failRank(r *Rank, cause error) {
 // diagnostics; none of it influences simulated results).
 func (w *World) SimStats() profile.SimStats {
 	es := w.Eng.Stats()
-	bc := w.pools.buf.Counters()
+	var bc, oc core.PoolCounters
+	for _, r := range w.ranks {
+		b := r.pools.buf.Counters()
+		bc.Gets += b.Gets
+		bc.Hits += b.Hits
+		o := r.pools.counters()
+		oc.Gets += o.Gets
+		oc.Hits += o.Hits
+	}
 	fc := w.fabric.PoolCounters()
 	return profile.SimStats{
-		Dispatched:     es.Dispatched,
-		StaleWakes:     es.StaleWakes,
-		CoalescedWakes: es.CoalescedWakes,
-		MaxHeapDepth:   es.MaxHeapDepth,
-		BufPool:        core.PoolCounters{Gets: bc.Gets + fc.Gets, Hits: bc.Hits + fc.Hits},
-		ObjPool:        w.pools.counters(),
+		Dispatched:      es.Dispatched,
+		StaleWakes:      es.StaleWakes,
+		CoalescedWakes:  es.CoalescedWakes,
+		MaxHeapDepth:    es.MaxHeapDepth,
+		ParallelBatches: es.ParallelBatches,
+		MaxBatchWidth:   es.MaxBatchWidth,
+		BarrierStalls:   es.BarrierStalls,
+		BufPool:         core.PoolCounters{Gets: bc.Gets + fc.Gets, Hits: bc.Hits + fc.Hits},
+		ObjPool:         oc,
 	}
 }
 
@@ -279,18 +317,10 @@ func (w *World) pmiBarrier(r *Rank) {
 	}
 }
 
-// pairKey orders a rank pair.
-type pairKey struct{ lo, hi int }
-
-func keyFor(a, b int) pairKey {
-	if a > b {
-		a, b = b, a
-	}
-	return pairKey{lo: a, hi: b}
-}
-
-// pairShared is the per-pair connection state, created lazily by whichever
-// side communicates first.
+// pairShared is the per-pair connection state. All entries are preallocated
+// in World.pairTab; under epoch dispatch an entry is only touched from groups
+// owning at least one of the pair's rank resources, and any cross-rank access
+// is covered by the claim protocol (Rank.claimPair).
 type pairShared struct {
 	lo, hi int
 	ring   *shmRing
@@ -302,21 +332,62 @@ type pairShared struct {
 	// cmaDead marks the pair's CMA channel failed; rendezvous transfers
 	// degrade to SHM streaming.
 	cmaDead bool
+
+	// claims counts each side's in-flight requests that may touch the peer
+	// rank's state (indexed by side). While either count is non-zero both
+	// ranks' footprints keep the pair merged into one epoch group.
+	claims [2]int
+	// hca records, per side, that the pair has used the HCA channel: the
+	// footprint then also spans both hosts' port resources (fabric events
+	// and device pools). Per-side bools so concurrent groups never write
+	// the same word.
+	hca [2]bool
+	// listed marks, per side, that the pair is on that rank's touchedPairs
+	// list (footprint enumeration).
+	listed [2]bool
+	// rndv tracks this pair's in-flight HCA rendezvous transfers by msgID
+	// (sharded from the old job-global table so concurrent pairs never
+	// share a map).
+	rndv map[uint64]*rndvState
+}
+
+// side maps a member rank to its claims/hca/listed index.
+func (ps *pairShared) side(rank int) int {
+	if rank == ps.hi {
+		return 1
+	}
+	return 0
+}
+
+// other returns the pair member that is not rank.
+func (ps *pairShared) other(rank int) int {
+	if rank == ps.lo {
+		return ps.hi
+	}
+	return ps.lo
 }
 
 // shmDead reports whether the pair's shared-memory ring is unusable.
 func (ps *pairShared) shmDead() bool { return ps.shmErr != nil }
 
-// pair returns (creating if needed) the shared state for a rank pair.
-func (w *World) pair(a, b int) *pairShared {
-	k := keyFor(a, b)
-	ps, ok := w.pairs[k]
-	if !ok {
-		ps = &pairShared{lo: k.lo, hi: k.hi}
-		w.pairs[k] = ps
+// pairIdx is the triangular index of an unordered rank pair.
+func pairIdx(a, b int) int {
+	if a > b {
+		a, b = b, a
 	}
-	return ps
+	return b*(b-1)/2 + a
 }
+
+// pair returns the shared state for a rank pair.
+func (w *World) pair(a, b int) *pairShared {
+	return &w.pairTab[pairIdx(a, b)]
+}
+
+// resRank is the epoch-dispatch resource id for a rank's private state.
+func (w *World) resRank(rank int) sim.Res { return sim.Res(1 + rank) }
+
+// resHost is the resource id for a host's fabric port and device pools.
+func (w *World) resHost(host int) sim.Res { return sim.Res(1 + len(w.ranks) + host) }
 
 // qpFor returns r's QP to peer, establishing the RC connection on demand
 // (MVAPICH2 on-demand connection management). The setup cost is charged to
@@ -343,8 +414,10 @@ func (r *Rank) qpFor(peer int) *ib.QP {
 		if err := ib.Connect(qa, qb); err != nil {
 			r.p.Fatalf("connect: %v", err)
 		}
-		r.w.qpRemote[qa] = peer
-		r.w.qpRemote[qb] = r.rank
+		// Each side records its own QP→peer routing (rank-private maps so
+		// completions resolve their pair without any job-global table).
+		r.qpPeer[qa] = peer
+		other.qpPeer[qb] = r.rank
 		if r.rank == ps.lo {
 			ps.qps[0], ps.qps[1] = qa, qb
 		} else {
@@ -383,10 +456,11 @@ func (r *Rank) ringFor(peer int) (*shmRing, error) {
 	return ps.ring, nil
 }
 
-// newMsgID mints a job-unique rendezvous identifier.
-func (w *World) newMsgID() uint64 {
-	w.nextMsgID++
-	return w.nextMsgID
+// newMsgID mints a job-unique rendezvous identifier without shared state:
+// the minting rank rides in the high bits over a rank-local sequence.
+func (r *Rank) newMsgID() uint64 {
+	r.msgSeq++
+	return uint64(r.rank+1)<<40 | r.msgSeq
 }
 
 // rndvState tracks one in-flight HCA rendezvous transfer. The paper's

@@ -80,6 +80,15 @@ type SimStats struct {
 	CoalescedWakes uint64
 	// MaxHeapDepth is the event queue's high-water mark.
 	MaxHeapDepth int
+	// ParallelBatches is the number of epochs formed by the engine's
+	// conservative parallel dispatch (zero on the sequential loop).
+	ParallelBatches uint64
+	// MaxBatchWidth is the widest epoch: the most causally independent
+	// groups dispatched concurrently. Identical for any worker count.
+	MaxBatchWidth int
+	// BarrierStalls counts groups queued behind the worker pool — the one
+	// counter that depends on the configured worker count.
+	BarrierStalls uint64
 	// BufPool aggregates the byte-buffer pools (runtime staging plus fabric
 	// wire snapshots).
 	BufPool core.PoolCounters

@@ -8,6 +8,7 @@ package shmem
 
 import (
 	"fmt"
+	"sync"
 
 	"cmpi/internal/cluster"
 )
@@ -34,7 +35,12 @@ type segKey struct {
 type AttachFaultHook func(env *cluster.Container, name string) error
 
 // Registry is the kernel-side table of shared segments, one per simulation.
+// The table itself is mutex-protected: under the engine's parallel epoch
+// dispatch, independent rank pairs may attach distinct segments concurrently
+// (segment contents are still only touched by ranks whose footprints cover
+// them, so Data needs no lock).
 type Registry struct {
+	mu          sync.Mutex
 	segs        map[segKey]*Segment
 	attachFault AttachFaultHook
 }
@@ -69,6 +75,8 @@ func (r *Registry) CreateOrAttach(env *cluster.Container, name string, size int)
 		return nil, ErrWrongNamespaceKind
 	}
 	key := segKey{ns: ns, name: name}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if seg, ok := r.segs[key]; ok {
 		if size > len(seg.Data) {
 			return nil, fmt.Errorf("shmem: segment %q exists with size %d, attach wants %d",
@@ -85,7 +93,9 @@ func (r *Registry) CreateOrAttach(env *cluster.Container, name string, size int)
 // IPC namespace (there is no cross-namespace discovery, as in the kernel).
 func (r *Registry) Attach(env *cluster.Container, name string) (*Segment, error) {
 	ns := env.Namespace(cluster.IPC)
+	r.mu.Lock()
 	seg, ok := r.segs[segKey{ns: ns, name: name}]
+	r.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("shmem: no segment %q in IPC namespace %s/%d of %s",
 			name, ns.Host.Name, ns.ID, env)
@@ -98,6 +108,8 @@ func (r *Registry) Attach(env *cluster.Container, name string) (*Segment, error)
 func (r *Registry) Unlink(env *cluster.Container, name string) error {
 	ns := env.Namespace(cluster.IPC)
 	key := segKey{ns: ns, name: name}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, ok := r.segs[key]; !ok {
 		return fmt.Errorf("shmem: unlink %q: no such segment", name)
 	}
@@ -107,4 +119,8 @@ func (r *Registry) Unlink(env *cluster.Container, name string) error {
 
 // Count reports how many live segments the registry holds (for tests and
 // leak checks).
-func (r *Registry) Count() int { return len(r.segs) }
+func (r *Registry) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.segs)
+}

@@ -2,15 +2,26 @@ package sim
 
 import (
 	"fmt"
+	"os"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
-// Engine is a sequential discrete-event scheduler. Simulated processes are
-// goroutines, but the engine resumes at most one at a time, always the one
-// with the earliest pending virtual time, so execution order — and therefore
-// every simulated result — is fully deterministic and data-race-free.
+// Engine is a discrete-event scheduler. Simulated processes are goroutines,
+// but the engine hands control only to processes whose pending events it has
+// dispatched, always in deterministic (virtual time, sequence) order, so every
+// simulated result is reproducible and data-race-free.
+//
+// By default dispatch is fully sequential. When processes declare resource
+// footprints (Proc.SetFootprint) or callbacks carry resource tags (AtRes,
+// AtArg), the engine switches to conservative epoch dispatch (see epoch.go):
+// pending events are partitioned into causally independent groups which run
+// concurrently on a worker pool bounded by SetWorkers, with results —
+// including Stats counters — byte-identical for any worker count.
 //
 // Typical use:
 //
@@ -19,21 +30,35 @@ import (
 //	e.Go("rank1", func(p *sim.Proc) { ... })
 //	if err := e.Run(); err != nil { ... }
 type Engine struct {
-	pq      eventHeap
-	seq     uint64
-	now     Time
-	procs   []*Proc
-	stopped bool
-	failure error
-	stats   Stats
+	pq    eventHeap
+	seq   uint64
+	now   Time
+	procs []*Proc
+
+	stopped   atomic.Bool
+	failMu    sync.Mutex
+	failure   error
+	failureAt Time
+
+	stats Stats
+
+	// Parallel dispatch state (epoch.go).
+	workers       int
+	anyFootprint  bool
+	epoch         *epochState
+	epochID       uint64
+	ufParent      map[Res]Res
+	epochDepthMax int
 }
 
 // Stats counts scheduler activity, for capacity planning and engine
-// benchmarks.
+// benchmarks. Under epoch dispatch every counter is commit-ordered — group
+// counters merge at each epoch barrier in group-index order — so the whole
+// struct is identical for any worker count.
 type Stats struct {
 	// Dispatched is the number of events popped and handled.
 	Dispatched uint64
-	// Callbacks is the subset that were scheduler callbacks (At).
+	// Callbacks is the subset that were scheduler callbacks (At/AtRes/AtArg).
 	Callbacks uint64
 	// Resumes is the subset that handed control to a process.
 	Resumes uint64
@@ -43,24 +68,66 @@ type Stats struct {
 	// the queue because an identical-time wake was already pending (or the
 	// target process had finished).
 	CoalescedWakes uint64
-	// MaxHeapDepth is the high-water mark of the pending-event queue.
+	// MaxHeapDepth is the high-water mark of the pending-event queue
+	// (under epoch dispatch: global heap, or the per-epoch sum of group
+	// heaps, whichever is larger).
 	MaxHeapDepth int
+	// ParallelBatches is the number of epochs formed by parallel dispatch
+	// (zero under the legacy sequential loop).
+	ParallelBatches uint64
+	// MaxBatchWidth is the widest epoch: the maximum number of causally
+	// independent groups dispatched concurrently. Determined entirely at
+	// formation, so identical for any worker count.
+	MaxBatchWidth int
+	// BarrierStalls counts groups that had to queue behind the worker pool
+	// (epoch width exceeding the worker count). A host-side saturation
+	// diagnostic: it depends on the configured worker count (never on worker
+	// scheduling), unlike every other counter, which is width-independent.
+	BarrierStalls uint64
 }
 
 // Stats returns a snapshot of scheduler counters.
 func (e *Engine) Stats() Stats {
 	s := e.stats
 	s.MaxHeapDepth = e.pq.maxDepth
+	if e.epochDepthMax > s.MaxHeapDepth {
+		s.MaxHeapDepth = e.epochDepthMax
+	}
 	return s
+}
+
+// DefaultWorkers reports the dispatch width new engines start with: the
+// CMPI_SIM_WORKERS environment variable, else 1 (sequential). Width never
+// changes simulated results, only host wall-clock.
+func DefaultWorkers() int {
+	if s := os.Getenv("CMPI_SIM_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1
 }
 
 // NewEngine returns an empty engine at virtual time zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{workers: DefaultWorkers(), ufParent: make(map[Res]Res)}
 }
 
-// Now reports the engine's current virtual time (the time of the most
-// recently dispatched event).
+// SetWorkers pins the epoch dispatch width; n <= 0 restores the default.
+// Call before Run.
+func (e *Engine) SetWorkers(n int) {
+	if n <= 0 {
+		n = DefaultWorkers()
+	}
+	e.workers = n
+}
+
+// Workers reports the configured dispatch width.
+func (e *Engine) Workers() int { return e.workers }
+
+// Now reports the engine's current virtual time: the time of the most
+// recently dispatched event (sequential loop) or the current epoch's floor —
+// the earliest event time in the epoch (epoch dispatch).
 func (e *Engine) Now() Time { return e.now }
 
 // Procs returns the processes spawned so far, in spawn order.
@@ -68,19 +135,58 @@ func (e *Engine) Procs() []*Proc { return e.procs }
 
 // At schedules fn to run in scheduler context at virtual time t. Scheduling
 // in the past is clamped to the current time (the event still runs after
-// every event already pending at that time, preserving causality).
+// every event already pending at that time, preserving causality). An
+// untagged callback touches Global: under epoch dispatch it serializes with
+// the global group.
 func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		t = e.now
+	e.schedule(event{t: t, fn: fn})
+}
+
+// AtRes is At for callbacks that touch only the given resources, letting
+// epoch dispatch group them with the processes owning those resources
+// instead of serializing the world. The caller must own every listed
+// resource (at most 4) when scheduling from inside a run.
+func (e *Engine) AtRes(t Time, fn func(), res ...Res) {
+	ev := event{t: t, fn: fn}
+	ev.nres = uint8(copy(ev.res[:], res))
+	e.schedule(ev)
+}
+
+// AtArg is AtRes for the allocation-free form: a static callback plus a
+// caller-pooled argument, avoiding the per-event closure.
+func (e *Engine) AtArg(t Time, fn func(any), arg any, res ...Res) {
+	ev := event{t: t, fnA: fn, arg: arg}
+	ev.nres = uint8(copy(ev.res[:], res))
+	e.schedule(ev)
+}
+
+// schedule routes a new callback event to the global heap, or — during epoch
+// execution — to the heap of the group owning its first resource.
+func (e *Engine) schedule(ev event) {
+	if ep := e.epoch; ep != nil {
+		var first Res // Global when untagged
+		if ev.nres > 0 {
+			first = ev.res[0]
+		}
+		g := e.groupFor(first)
+		if ev.t < g.now {
+			ev.t = g.now
+		}
+		g.pushLocal(ev)
+		return
+	}
+	if ev.t < e.now {
+		ev.t = e.now
 	}
 	e.seq++
-	e.pq.push(event{t: t, seq: e.seq, fn: fn})
+	ev.seq = e.seq
+	e.pq.push(ev)
 }
 
 // Go spawns a simulated process that starts at the current virtual time.
 // The process body runs on its own goroutine but executes only while the
 // engine has handed it control, so process code never races with other
-// processes or with scheduler callbacks.
+// processes or with scheduler callbacks. Spawn before Run.
 func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
 	p := &Proc{
 		eng:    e,
@@ -119,14 +225,18 @@ type engineAbort struct{ err error }
 
 // Stop aborts the run after the current event completes. Pending events are
 // discarded; Run returns nil unless a failure was already recorded.
-func (e *Engine) Stop() { e.stopped = true }
+func (e *Engine) Stop() { e.stopped.Store(true) }
 
-// Fail aborts the run and makes Run return err (the first failure wins).
+// Fail aborts the run and makes Run return err. The first failure — by
+// virtual time under epoch dispatch — wins.
 func (e *Engine) Fail(err error) {
+	e.failMu.Lock()
 	if e.failure == nil {
 		e.failure = err
+		e.failureAt = e.now
 	}
-	e.stopped = true
+	e.failMu.Unlock()
+	e.stopped.Store(true)
 }
 
 // DeadlockError reports that the event queue drained while simulated
@@ -149,18 +259,43 @@ func (d *DeadlockError) Error() string {
 // processes remain blocked when the queue empties, the recorded error on
 // Fail or process panic, and nil otherwise.
 func (e *Engine) Run() error {
-	for !e.stopped && e.pq.len() > 0 {
+	if e.anyFootprint {
+		e.runEpochs()
+	} else {
+		e.runSequential()
+	}
+	if e.failure != nil {
+		return e.failure
+	}
+	var parked []string
+	for _, p := range e.procs {
+		if p.state != stateDone {
+			parked = append(parked, fmt.Sprintf("%s(%s,t=%v)", p.name, p.state, p.now))
+		}
+	}
+	if len(parked) > 0 && !e.stopped.Load() {
+		sort.Strings(parked)
+		return &DeadlockError{Parked: parked, At: e.now}
+	}
+	return nil
+}
+
+// runSequential is the legacy dispatch loop, used when no process declares a
+// footprint: one event at a time, globally ordered. Identical behavior and
+// overhead to the engine before parallel dispatch existed.
+func (e *Engine) runSequential() {
+	for !e.stopped.Load() && e.pq.len() > 0 {
 		ev := e.pq.pop()
 		e.now = ev.t
 		e.stats.Dispatched++
-		if ev.fn != nil {
+		if ev.isCallback() {
 			e.stats.Callbacks++
-			ev.fn()
+			ev.invoke()
 			continue
 		}
 		p := ev.proc
-		if p != nil && !ev.timer {
-			p.wakesQueued-- // this Unpark event has left the queue
+		if p != nil && !ev.timer && ev.t == p.lastWakeAt {
+			p.lastWakeLive = false // the coalescing anchor has left the queue
 		}
 		if p == nil || !p.wantsWake(ev) {
 			e.stats.StaleWakes++
@@ -177,18 +312,4 @@ func (e *Engine) Run() error {
 			e.Fail(p.panicked)
 		}
 	}
-	if e.failure != nil {
-		return e.failure
-	}
-	var parked []string
-	for _, p := range e.procs {
-		if p.state != stateDone {
-			parked = append(parked, fmt.Sprintf("%s(%s,t=%v)", p.name, p.state, p.now))
-		}
-	}
-	if len(parked) > 0 && !e.stopped {
-		sort.Strings(parked)
-		return &DeadlockError{Parked: parked, At: e.now}
-	}
-	return nil
 }

@@ -1,0 +1,366 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Conservative epoch scheduling (PDES-style parallel dispatch).
+//
+// When any process declares a resource footprint (SetFootprint) or any
+// callback is tagged with resources (AtRes/AtArg), Run switches from the
+// legacy sequential loop to epoch dispatch:
+//
+//  1. Formation (scheduler context): pop every pending event in (t, seq)
+//     order, ask each event what resources it touches — a process event pulls
+//     the process's FootprintFn, a callback event carries its own tags, and
+//     anything undeclared touches Global — and union the resources into
+//     causally independent groups.
+//  2. Execution: each group runs the classic sequential dispatch loop over
+//     its own private heap, resuming only its own processes. Independent
+//     groups run concurrently on a bounded worker pool; the group structure
+//     is decided entirely at formation, so it is identical for any worker
+//     count. Each group dispatches at most epochQuota events so that the
+//     partition is refreshed as communication patterns shift.
+//  3. Commit (scheduler context, after a full barrier): leftover and spilled
+//     events return to the global heap in deterministic (t, group, local seq)
+//     order with freshly assigned global sequence numbers, group counters
+//     merge into the engine's Stats, and the earliest failure (by virtual
+//     time, then group index) wins — byte-identical results for any width.
+//
+// Soundness rests on the footprint contract: while a process runs inside a
+// group it may only touch state covered by the resources its FootprintFn
+// declared at formation. A process that needs a resource its group does not
+// own must call YieldRegroup, which reschedules it into the next epoch where
+// its (now wider) footprint merges the groups.
+
+// epochQuota bounds how many events one group dispatches per epoch. Small
+// enough that group structure tracks shifting communication patterns (a
+// process that yielded to claim a new resource waits at most one quota's
+// worth of events), large enough to amortize formation cost. Constant across
+// worker counts, so grouping — and therefore every result — is too.
+const epochQuota = 256
+
+// epochState is the per-epoch bookkeeping shared by formation and commit.
+type epochState struct {
+	groups []*execGroup
+	// resOwner maps each resource claimed this epoch to its owning group.
+	resOwner map[Res]*execGroup
+	// id increments every epoch (footprint memoization keys off it).
+	id uint64
+}
+
+// execGroup is one causally independent partition of an epoch's events. Its
+// run loop is the sequential engine restricted to the group's resources.
+type execGroup struct {
+	eng *Engine
+	idx int
+	pq  eventHeap
+	now Time
+	// seq is the group-local tie-break counter for events pushed during
+	// execution. It starts above every formation-assigned sequence number, so
+	// within a group (t, seq) order is causal order, and it is group-local,
+	// so it is identical for any worker count.
+	seq uint64
+	// quota is the remaining event budget this epoch.
+	quota int
+	// stats accumulates this group's scheduler counters, merged at commit.
+	stats Stats
+	// spill collects events to re-commit to the global heap: quota leftovers
+	// and YieldRegroup reschedules.
+	spill []event
+	// failure is the group's first failure and the virtual time it happened.
+	failure error
+	failAt  Time
+}
+
+// pushLocal enqueues an event produced during this group's execution.
+func (g *execGroup) pushLocal(ev event) uint64 {
+	g.seq++
+	ev.seq = g.seq
+	g.pq.push(ev)
+	return g.seq
+}
+
+// fail records the group's first failure.
+func (g *execGroup) fail(err error) {
+	if g.failure == nil {
+		g.failure = err
+		g.failAt = g.now
+	}
+}
+
+// run dispatches the group's events in (t, seq) order until the local heap
+// drains, the quota is spent, or the engine stops. This is the legacy
+// sequential loop, scoped to one group.
+func (g *execGroup) run() {
+	e := g.eng
+	for g.quota > 0 && g.pq.len() > 0 && !e.stopped.Load() {
+		ev := g.pq.pop()
+		g.quota--
+		g.now = ev.t
+		g.stats.Dispatched++
+		if ev.isCallback() {
+			g.stats.Callbacks++
+			ev.invoke()
+			continue
+		}
+		p := ev.proc
+		if p != nil && !ev.timer && ev.t == p.lastWakeAt {
+			p.lastWakeLive = false // the coalescing anchor has left the queue
+		}
+		if p == nil || !p.wantsWake(ev) {
+			if p != nil && !ev.timer && p.state == stateScheduled && p.regroupEpoch == e.epochID {
+				// The target yielded out of this epoch (YieldRegroup): its
+				// resume timer fires only next epoch and may predate this
+				// wake. Carry the wake over so commit re-orders it after the
+				// timer instead of losing the condition it signals.
+				g.spill = append(g.spill, ev)
+				continue
+			}
+			g.stats.StaleWakes++
+			continue // stale wake: the condition it signalled was already consumed
+		}
+		g.stats.Resumes++
+		if p.now < ev.t {
+			p.now = ev.t
+		}
+		p.state = stateRunning
+		p.group = g
+		p.resume <- struct{}{}
+		<-p.yield
+		if p.panicked != nil {
+			g.fail(p.panicked)
+			e.stopped.Store(true)
+		}
+	}
+	// Whatever remains carries over to the next epoch via commit.
+	for g.pq.len() > 0 {
+		g.spill = append(g.spill, g.pq.pop())
+	}
+}
+
+// formEpoch partitions every pending event into independence groups. Called
+// in scheduler context; deterministic for a given heap state.
+func (e *Engine) formEpoch() *epochState {
+	ep := &epochState{resOwner: make(map[Res]*execGroup), id: e.epochID + 1}
+	e.epochID = ep.id
+
+	// Pop all pending events in (t, seq) order, resolving each event's
+	// resource set. Union-find over resources: parent[r] is a group index.
+	type formed struct {
+		ev  event
+		res []Res
+	}
+	evs := make([]formed, 0, e.pq.len())
+	if len(e.pq.ev) > 0 {
+		e.now = e.pq.ev[0].t // epoch floor; monotone because spills never precede it
+	}
+	for e.pq.len() > 0 {
+		ev := e.pq.pop()
+		evs = append(evs, formed{ev: ev, res: e.eventRes(ev, ep.id)})
+	}
+
+	find := func(r Res) Res {
+		for {
+			p, ok := e.ufParent[r]
+			if !ok || p == r {
+				if !ok {
+					e.ufParent[r] = r
+				}
+				return r
+			}
+			e.ufParent[r] = e.ufParent[p]
+			r = p
+		}
+	}
+	for i := range evs {
+		res := evs[i].res
+		root := find(res[0])
+		for _, r := range res[1:] {
+			r2 := find(r)
+			if r2 != root {
+				e.ufParent[r2] = root
+			}
+		}
+	}
+
+	// Build groups in first-event order: deterministic indices.
+	rootGroup := make(map[Res]*execGroup)
+	baseSeq := e.seq
+	for i := range evs {
+		root := find(evs[i].res[0])
+		g, ok := rootGroup[root]
+		if !ok {
+			g = &execGroup{eng: e, idx: len(ep.groups), seq: baseSeq, quota: epochQuota}
+			g.now = e.now
+			rootGroup[root] = g
+			ep.groups = append(ep.groups, g)
+		}
+		g.pq.push(evs[i].ev)
+		for _, r := range evs[i].res {
+			ep.resOwner[r] = g
+		}
+	}
+	// Resources that merged transitively (union-find) must also resolve to
+	// the owning group for routing during execution.
+	for r := range e.ufParent {
+		if g, ok := rootGroup[find(r)]; ok {
+			ep.resOwner[r] = g
+		}
+	}
+	// Reset union-find for the next epoch.
+	for r := range e.ufParent {
+		delete(e.ufParent, r)
+	}
+	return ep
+}
+
+// eventRes resolves the resources one formation event touches.
+func (e *Engine) eventRes(ev event, epochID uint64) []Res {
+	if ev.isCallback() {
+		if ev.nres == 0 {
+			return globalResList
+		}
+		// Copy out of the event: the backing array moves between heaps.
+		res := make([]Res, ev.nres)
+		copy(res, ev.res[:ev.nres])
+		return res
+	}
+	p := ev.proc
+	if p == nil || p.footprint == nil {
+		return globalResList
+	}
+	if p.fpEpoch != epochID {
+		p.fpEpoch = epochID
+		p.fpCache = p.footprint(p.fpCache[:0])
+		if len(p.fpCache) == 0 {
+			p.fpCache = append(p.fpCache, Global)
+		}
+	}
+	return p.fpCache
+}
+
+var globalResList = []Res{Global}
+
+// runEpochs is the parallel dispatch loop (used when any footprint or tagged
+// callback exists; otherwise Run uses the legacy sequential loop).
+func (e *Engine) runEpochs() {
+	for !e.stopped.Load() && e.pq.len() > 0 {
+		ep := e.formEpoch()
+		e.epoch = ep
+		width := len(ep.groups)
+		e.stats.ParallelBatches++
+		if width > e.stats.MaxBatchWidth {
+			e.stats.MaxBatchWidth = width
+		}
+		workers := e.workers
+		if workers > width {
+			workers = width
+		}
+		if width > workers {
+			e.stats.BarrierStalls += uint64(width - workers)
+		}
+		if workers <= 1 {
+			for _, g := range ep.groups {
+				g.run()
+			}
+		} else {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(ep.groups) {
+							return
+						}
+						ep.groups[i].run()
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		e.epoch = nil
+		e.commitEpoch(ep)
+	}
+}
+
+// commitEpoch merges group results back into the engine: counters, the
+// earliest failure, and leftover events re-sequenced deterministically.
+func (e *Engine) commitEpoch(ep *epochState) {
+	depth := 0
+	for _, g := range ep.groups {
+		e.stats.Dispatched += g.stats.Dispatched
+		e.stats.Callbacks += g.stats.Callbacks
+		e.stats.Resumes += g.stats.Resumes
+		e.stats.StaleWakes += g.stats.StaleWakes
+		e.stats.CoalescedWakes += g.stats.CoalescedWakes
+		depth += g.pq.maxDepth
+		// Earliest failure wins, by (virtual time, group index) — an order
+		// independent of worker scheduling.
+		if g.failure != nil && (e.failure == nil || g.failAt < e.failureAt) {
+			e.failure = g.failure
+			e.failureAt = g.failAt
+		}
+	}
+	if depth > e.epochDepthMax {
+		e.epochDepthMax = depth
+	}
+	if e.stopped.Load() {
+		return // pending events are discarded, as in the sequential engine
+	}
+	// Re-commit leftovers and spills: (t, group index, local seq) order, with
+	// fresh global sequence numbers. Group-local order is causal order; the
+	// cross-group tie-break at equal times is by deterministic group index.
+	var all []event
+	byGroup := make([]int, 0, len(ep.groups))
+	for gi, g := range ep.groups {
+		for _, ev := range g.spill {
+			all = append(all, ev)
+			byGroup = append(byGroup, gi)
+		}
+	}
+	order := make([]int, len(all))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ea, eb := &all[order[a]], &all[order[b]]
+		if ea.t != eb.t {
+			return ea.t < eb.t
+		}
+		if byGroup[order[a]] != byGroup[order[b]] {
+			return byGroup[order[a]] < byGroup[order[b]]
+		}
+		return ea.seq < eb.seq
+	})
+	for _, i := range order {
+		ev := all[i]
+		e.seq++
+		ev.seq = e.seq
+		if ev.proc != nil && ev.timer {
+			// The proc is parked on this timer; re-key it to the new seq.
+			ev.proc.timerSeq = e.seq
+		}
+		e.pq.push(ev)
+	}
+}
+
+// groupFor routes an engine call made during epoch execution to the group
+// owning res. It panics when res is unowned and no global group exists —
+// that means an event touched a resource outside its declared footprint.
+func (e *Engine) groupFor(res Res) *execGroup {
+	ep := e.epoch
+	if g, ok := ep.resOwner[res]; ok {
+		return g
+	}
+	if g, ok := ep.resOwner[Global]; ok {
+		return g
+	}
+	panic(fmt.Sprintf("sim: resource %d touched during an epoch that owns neither it nor Global (undeclared footprint)", res))
+}

@@ -1,14 +1,37 @@
 package sim
 
 // event is one entry in the engine's pending-event queue. Exactly one of
-// fn / proc is used: fn events run a callback in scheduler context, proc
-// events hand control to a simulated process.
+// fn / fnA / proc is used: fn and fnA events run a callback in scheduler
+// context (fnA with a caller-supplied argument, so hot paths can recycle a
+// static function plus a pooled argument struct instead of allocating a
+// closure per event), proc events hand control to a simulated process.
 type event struct {
 	t     Time
 	seq   uint64 // FIFO tie-break among equal-time events: keeps runs deterministic
 	fn    func()
+	fnA   func(any)
+	arg   any
 	proc  *Proc
 	timer bool // true for Sleep/Advance/start wakes, false for Unpark wakes
+
+	// res lists the resources a callback event touches, for epoch grouping
+	// (AtRes/AtArg). nres is the live prefix of res; untagged events
+	// (nres == 0) are treated as touching Global. Proc events ignore these
+	// fields: their footprint comes from the proc's FootprintFn.
+	res  [4]Res
+	nres uint8
+}
+
+// isCallback reports whether the event runs in scheduler context.
+func (e *event) isCallback() bool { return e.fn != nil || e.fnA != nil }
+
+// invoke runs a callback event.
+func (e *event) invoke() {
+	if e.fn != nil {
+		e.fn()
+		return
+	}
+	e.fnA(e.arg)
 }
 
 // heapArity is the fan-out of the event heap. A 4-ary heap halves the tree

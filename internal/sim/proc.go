@@ -49,14 +49,84 @@ type Proc struct {
 	yield    chan struct{}
 	panicked error
 
-	// wakesQueued / lastWakeAt track pending Unpark events so duplicate
-	// wakes for the same virtual time can be coalesced instead of queued.
-	wakesQueued int
-	lastWakeAt  Time
+	// lastWakeAt / lastWakeLive track the most recently queued Unpark event
+	// so duplicate wakes for the same virtual time can be coalesced instead
+	// of queued. The live flag drops when that wake leaves the queue: a wake
+	// may only be coalesced against one that is still pending, never against
+	// one already consumed (whose re-check the process may have spent on an
+	// earlier condition).
+	lastWakeAt   Time
+	lastWakeLive bool
+
+	// regroupEpoch is the epoch id during which the process last called
+	// YieldRegroup. Its resume timer is spilled to the next epoch, so wakes
+	// popped for it later in that same epoch must be spilled too — they may
+	// postdate the spilled timer in virtual time, and stale-dropping them
+	// would break the in-heap guarantee that a scheduled process's timer
+	// fires no earlier than any wake dropped while it slept.
+	regroupEpoch uint64
+
+	// Parallel dispatch state: res is the process's identity resource (wakes
+	// route to the epoch group owning it), footprint declares what the
+	// process may touch, group is the epoch group currently running it (nil
+	// under sequential dispatch), fpCache/fpEpoch memoize the footprint once
+	// per epoch.
+	res       Res
+	footprint FootprintFn
+	group     *execGroup
+	fpCache   []Res
+	fpEpoch   uint64
 
 	// Data is an arbitrary per-process slot for the layer above (the MPI
 	// runtime stores its per-rank state here).
 	Data any
+}
+
+// SetRes declares the process's identity resource, used to route wakes to
+// the owning epoch group. Call before Run.
+func (p *Proc) SetRes(r Res) { p.res = r }
+
+// SetFootprint installs the process's resource footprint and switches the
+// engine to epoch dispatch (see FootprintFn). Call before Run.
+func (p *Proc) SetFootprint(fn FootprintFn) {
+	p.footprint = fn
+	if fn != nil {
+		p.eng.anyFootprint = true
+	}
+}
+
+// CanTouch reports whether the process's current epoch group owns res, i.e.
+// whether process code may touch state guarded by it right now. Always true
+// under sequential dispatch. A process that needs a resource it cannot touch
+// must widen its footprint and YieldRegroup.
+func (p *Proc) CanTouch(r Res) bool {
+	g := p.group
+	if g == nil {
+		return true
+	}
+	return p.eng.epoch.resOwner[r] == g
+}
+
+// YieldRegroup reschedules the process into the next epoch at its current
+// virtual time, so that its footprint — typically just widened — is
+// re-evaluated and the needed groups merge. Costs no virtual time; execution
+// resumes after the call. A no-op under sequential dispatch.
+func (p *Proc) YieldRegroup() {
+	g := p.group
+	if g == nil {
+		return
+	}
+	g.seq++
+	g.spill = append(g.spill, event{t: p.now, seq: g.seq, proc: p, timer: true})
+	p.state = stateScheduled
+	// Record the yield so wakes aimed at this process later in the epoch are
+	// spilled rather than stale-dropped: the resume timer above fires only
+	// next epoch, so unlike an in-heap timer it may predate those wakes, and
+	// dropping them would lose the condition they signal (the process would
+	// re-check before the waker's virtual time and park forever).
+	p.regroupEpoch = p.eng.epochID
+	// timerSeq is re-keyed at commit, when the spill gets its global seq.
+	p.switchOut()
 }
 
 // ID returns the spawn-order index of the process.
@@ -102,7 +172,16 @@ func (p *Proc) Advance(d Time) {
 		panic(fmt.Sprintf("proc %q: Advance(%v) with negative duration", p.name, d))
 	}
 	target := p.now + d
-	if min, ok := p.eng.pq.minTime(); !ok || min >= target {
+	if g := p.group; g != nil {
+		// Epoch dispatch: only this group's events can affect this process
+		// before the next barrier, so the fast path consults the group heap.
+		// Group membership is decided at formation, so the outcome is
+		// identical for any worker count.
+		if min, ok := g.pq.minTime(); !ok || min >= target {
+			p.now = target
+			return
+		}
+	} else if min, ok := p.eng.pq.minTime(); !ok || min >= target {
 		p.now = target
 		return
 	}
@@ -119,9 +198,13 @@ func (p *Proc) Sleep(d Time) {
 }
 
 func (p *Proc) sleepUntil(t Time) {
-	p.eng.seq++
-	p.timerSeq = p.eng.seq
-	p.eng.pq.push(event{t: t, seq: p.eng.seq, proc: p, timer: true})
+	if g := p.group; g != nil {
+		p.timerSeq = g.pushLocal(event{t: t, proc: p, timer: true})
+	} else {
+		p.eng.seq++
+		p.timerSeq = p.eng.seq
+		p.eng.pq.push(event{t: t, seq: p.eng.seq, proc: p, timer: true})
+	}
 	p.state = stateScheduled
 	p.switchOut()
 }
@@ -147,17 +230,35 @@ func (p *Proc) Park() {
 // only thing suppressed is a zero-cost spurious re-check. Wakes for a process
 // whose body already returned are likewise dropped.
 func (p *Proc) UnparkAt(at Time) {
-	if at < p.eng.now {
-		at = p.eng.now
-	}
-	if p.state == stateDone || (p.wakesQueued > 0 && p.lastWakeAt == at) {
-		p.eng.stats.CoalescedWakes++
+	e := p.eng
+	if e.epoch != nil {
+		// Epoch dispatch: the wake belongs to the group owning the target's
+		// identity resource — which is the caller's own group, since touching
+		// another process requires having claimed it in the footprint.
+		g := e.groupFor(p.res)
+		if at < g.now {
+			at = g.now
+		}
+		if p.state == stateDone || (p.lastWakeLive && p.lastWakeAt == at) {
+			g.stats.CoalescedWakes++
+			return
+		}
+		g.pushLocal(event{t: at, proc: p})
+		p.lastWakeAt = at
+		p.lastWakeLive = true
 		return
 	}
-	p.eng.seq++
-	p.eng.pq.push(event{t: at, seq: p.eng.seq, proc: p})
-	p.wakesQueued++
+	if at < e.now {
+		at = e.now
+	}
+	if p.state == stateDone || (p.lastWakeLive && p.lastWakeAt == at) {
+		e.stats.CoalescedWakes++
+		return
+	}
+	e.seq++
+	e.pq.push(event{t: at, seq: e.seq, proc: p})
 	p.lastWakeAt = at
+	p.lastWakeLive = true
 }
 
 // Fatalf aborts the whole simulation, recording a formatted error that
