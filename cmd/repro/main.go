@@ -10,6 +10,9 @@
 //	repro -j 4          # pin the sweep worker pool (default: GOMAXPROCS)
 //	repro -sim-j 4      # pin the in-world epoch dispatch width (default: 1)
 //	repro -bench-out BENCH_repro.json  # host-time benchmark snapshot
+//	repro -trace-out golden.trace      # record the canonical trace job
+//	repro -replay golden.trace         # reconstruct counters from a trace
+//	repro -trace-diff A.trace B.trace  # first divergent record, if any
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"cmpi/internal/cluster"
 	"cmpi/internal/experiments"
 	"cmpi/internal/mpi"
+	"cmpi/internal/trace"
 )
 
 func main() {
@@ -34,6 +38,9 @@ func main() {
 	workers := flag.Int("j", 0, "experiment sweep workers; 0 = CMPI_SWEEP_WORKERS env or GOMAXPROCS (tables are byte-identical for any value)")
 	simWorkers := flag.Int("sim-j", 0, "epoch dispatch width inside each simulated world; 0 = CMPI_SIM_WORKERS env or 1 (results are byte-identical for any value)")
 	benchOut := flag.String("bench-out", "", "write a host-time benchmark snapshot (JSON) to this file and exit")
+	traceOut := flag.String("trace-out", "", "record the canonical trace job to this file and exit")
+	replay := flag.String("replay", "", "replay a recorded trace: reconstruct and print its counters, then exit")
+	traceDiff := flag.Bool("trace-diff", false, "compare the two trace files given as arguments; exit 1 on divergence")
 	flag.Parse()
 
 	if *list {
@@ -55,6 +62,23 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+	if *traceOut != "" {
+		if err := recordGolden(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *replay != "" {
+		if err := replayTrace(*replay); err != nil {
+			fmt.Fprintf(os.Stderr, "replay: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *traceDiff {
+		os.Exit(diffTraces(flag.Args()))
 	}
 
 	scale := experiments.Quick
@@ -91,6 +115,72 @@ func main() {
 		os.Exit(2)
 	}
 	run(e)
+}
+
+// recordGolden writes the canonical trace job's v1 trace to path.
+func recordGolden(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.GoldenTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+// replayTrace reconstructs a recorded run's counters from its trace alone —
+// no world is built, no rank goroutines run — and prints the summary.
+func replayTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	trace.Replay(tr).Render(os.Stdout)
+	return nil
+}
+
+// diffTraces compares two trace files and returns the process exit code:
+// 0 when identical, 1 on divergence, 2 on usage or read errors.
+func diffTraces(paths []string) int {
+	if len(paths) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: repro -trace-diff A.trace B.trace")
+		return 2
+	}
+	read := func(path string) (*trace.Trace, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.Read(f)
+	}
+	a, err := read(paths[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace-diff: %s: %v\n", paths[0], err)
+		return 2
+	}
+	b, err := read(paths[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace-diff: %s: %v\n", paths[1], err)
+		return 2
+	}
+	if d := trace.Diff(a, b); d != "" {
+		fmt.Println(d)
+		return 1
+	}
+	fmt.Println("traces identical")
+	return 0
 }
 
 // benchSnapshot is the committed BENCH_repro.json format: host-time numbers

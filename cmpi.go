@@ -31,6 +31,8 @@
 package cmpi
 
 import (
+	"io"
+
 	"cmpi/internal/cluster"
 	"cmpi/internal/core"
 	"cmpi/internal/fault"
@@ -41,6 +43,7 @@ import (
 	"cmpi/internal/perf"
 	"cmpi/internal/profile"
 	"cmpi/internal/sim"
+	"cmpi/internal/trace"
 )
 
 // Cluster and deployment model.
@@ -181,6 +184,37 @@ func NewFaultPlan() *FaultPlan { return fault.NewPlan() }
 func RandomFaultPlan(seed int64, hosts, ranks, n int, span Time) *FaultPlan {
 	return fault.RandomPlan(seed, hosts, ranks, n, span)
 }
+
+// Structured tracing (see docs/TRACING.md).
+type (
+	// TraceRecorder streams a world's structured trace; set Options.Record.
+	// A recorder is single-shot: build a fresh one per world.
+	TraceRecorder = trace.Recorder
+	// Trace is a decoded trace: header plus records in commit order.
+	Trace = trace.Trace
+	// TraceRecord is one traced event (message, protocol transition, fault).
+	TraceRecord = trace.Record
+	// TraceSummary is the result of replaying a trace offline: per-rank
+	// channel counters, per-path latency, histograms, and fault totals.
+	TraceSummary = trace.Summary
+)
+
+// NewTraceRecorder returns a recorder that streams the versioned trace to w
+// as records commit; hand it to Options.Record. Recording keeps full
+// epoch-parallel dispatch and writes byte-identical traces at every width.
+func NewTraceRecorder(w io.Writer) *TraceRecorder { return trace.NewRecorder(w) }
+
+// ReadTrace decodes a recorded trace.
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
+
+// ReplayTrace reconstructs a recorded run's profile counters, message-size
+// histograms, and per-path latency from the trace alone — no world, no rank
+// goroutines. Render the result with its Render method.
+func ReplayTrace(tr *Trace) *TraceSummary { return trace.Replay(tr) }
+
+// DiffTraces reports the first divergent record between two traces, or ""
+// when they are identical — the fast regression check.
+func DiffTraces(a, b *Trace) string { return trace.Diff(a, b) }
 
 // RetryTimeoutFromExponent converts an MVAPICH-style local-ACK-timeout
 // exponent (MV2_DEFAULT_TIME_OUT) to a virtual duration: 4.096us * 2^exp.

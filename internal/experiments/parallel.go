@@ -58,11 +58,11 @@ func memWorkerCap() int {
 	if avail <= 0 {
 		return 0
 	}
-	cap := int(avail / sweepWorkerBytes)
-	if cap < 1 {
-		cap = 1
+	limit := int(avail / sweepWorkerBytes)
+	if limit < 1 {
+		limit = 1
 	}
-	return cap
+	return limit
 }
 
 // parseMemAvailable extracts the MemAvailable value (bytes) from meminfo
@@ -80,14 +80,16 @@ func parseMemAvailable(data []byte) int64 {
 			continue
 		}
 		fields := strings.Fields(string(line[len(key):]))
-		if len(fields) == 0 {
+		// meminfo values carry an explicit "kB" unit; anything else means the
+		// format is not what this parser understands, so don't guess a scale.
+		if len(fields) < 2 || fields[1] != "kB" {
 			return 0
 		}
 		kb, err := strconv.ParseInt(fields[0], 10, 64)
 		if err != nil || kb < 0 {
 			return 0
 		}
-		return kb << 10 // meminfo reports kB
+		return kb << 10
 	}
 	return 0
 }
@@ -111,11 +113,18 @@ func mapPoints[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 		workers = n
 	}
 	if workers <= 1 {
+		// Evaluate every point even after a failure, exactly like the pool
+		// path: callers see the same error (the lowest-index one) and fn sees
+		// the same set of invocations at every worker count.
+		var firstErr error
 		for i := 0; i < n; i++ {
 			var err error
-			if out[i], err = fn(i); err != nil {
-				return nil, err
+			if out[i], err = fn(i); err != nil && firstErr == nil {
+				firstErr = err
 			}
+		}
+		if firstErr != nil {
+			return nil, firstErr
 		}
 		return out, nil
 	}

@@ -1,6 +1,10 @@
 package experiments
 
-import "testing"
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
 
 func TestParseMemAvailable(t *testing.T) {
 	cases := []struct {
@@ -14,6 +18,9 @@ func TestParseMemAvailable(t *testing.T) {
 		{"malformed", "MemAvailable:    lots kB\n", 0},
 		{"empty", "", 0},
 		{"no-trailing-newline", "MemAvailable: 2048 kB", 2048 << 10},
+		{"missing-unit", "MemAvailable:    4096\n", 0},
+		{"wrong-unit", "MemAvailable:    4096 MB\n", 0},
+		{"negative", "MemAvailable:    -4096 kB\n", 0},
 	}
 	for _, c := range cases {
 		if got := parseMemAvailable([]byte(c.in)); got != c.want {
@@ -41,4 +48,70 @@ func TestWorkersDefaultIsPositive(t *testing.T) {
 	if got := Workers(); got < 1 {
 		t.Fatalf("Workers() = %d, want >= 1", got)
 	}
+}
+
+// TestMapPointsErrorDeterminism pins the failure contract of mapPoints at
+// every pool width: all points are evaluated even when some fail, and the
+// reported error is the lowest-index one — identical for 1, 2, or 8 workers.
+func TestMapPointsErrorDeterminism(t *testing.T) {
+	defer SetWorkers(0)
+	const n = 10
+	failAt := map[int]bool{3: true, 7: true}
+	for _, workers := range []int{1, 2, 8} {
+		SetWorkers(workers)
+		var mu sync.Mutex
+		evaluated := make(map[int]bool)
+		out, err := mapPoints(n, func(i int) (int, error) {
+			mu.Lock()
+			evaluated[i] = true
+			mu.Unlock()
+			if failAt[i] {
+				return 0, fmt.Errorf("point %d failed", i)
+			}
+			return i * i, nil
+		})
+		if err == nil || err.Error() != "point 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want lowest-index error \"point 3 failed\"", workers, err)
+		}
+		if out != nil {
+			t.Fatalf("workers=%d: out = %v, want nil on error", workers, out)
+		}
+		if len(evaluated) != n {
+			t.Fatalf("workers=%d: evaluated %d of %d points; a failure must not skip the rest", workers, len(evaluated), n)
+		}
+	}
+}
+
+// TestMapPointsResultsIndependentOfWidth checks the success contract: results
+// land in index order for any worker count.
+func TestMapPointsResultsIndependentOfWidth(t *testing.T) {
+	defer SetWorkers(0)
+	const n = 17
+	var want []int
+	for _, workers := range []int{1, 2, 8} {
+		SetWorkers(workers)
+		out, err := mapPoints(n, func(i int) (int, error) { return 3*i + 1, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == nil {
+			want = out
+			continue
+		}
+		if !equalInts(out, want) {
+			t.Fatalf("workers=%d: results differ from width-1 run:\n  got  %v\n  want %v", workers, out, want)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

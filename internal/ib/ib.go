@@ -49,6 +49,12 @@ type Fabric struct {
 	retryCnt int      // RC retry_cnt: max retransmissions before QP error
 	retryTO  sim.Time // base retransmission timeout; doubles per retry
 	stats    FaultStats
+
+	// trace, when installed, observes transport fault events (successful
+	// retransmission bursts and QP breaks) as they are scheduled. Fault
+	// events only occur in injected worlds, which run sequentially, so the
+	// callback fires in deterministic dispatch order.
+	trace func(TraceEvent)
 }
 
 // PoolCounters reports the fabric's aggregate buffer-pool hit statistics
@@ -98,6 +104,33 @@ func (f *Fabric) SetFaults(inj *fault.Injector, retryCnt int, retryTO sim.Time) 
 
 // FaultStats returns a snapshot of the fabric's fault-handling counters.
 func (f *Fabric) FaultStats() FaultStats { return f.stats }
+
+// TraceKind classifies one fabric trace event.
+type TraceKind uint8
+
+const (
+	// TraceRetransmit reports a transmission that succeeded after Retries
+	// retransmissions.
+	TraceRetransmit TraceKind = iota
+	// TraceQPBreak reports an RC pair broken after retry exhaustion.
+	TraceQPBreak
+)
+
+// TraceEvent is one transport fault event handed to the trace observer.
+type TraceEvent struct {
+	// T is the virtual time the event takes effect.
+	T sim.Time
+	// Kind distinguishes retransmission from pair breakage.
+	Kind TraceKind
+	// Host is the posting host's index.
+	Host int
+	// Retries is the number of retransmissions spent.
+	Retries int
+}
+
+// SetTrace installs (or, with nil, removes) the fabric's fault-event
+// observer.
+func (f *Fabric) SetTrace(fn func(TraceEvent)) { f.trace = fn }
 
 // port is the per-host HCA attachment point with its link resources.
 type port struct {
@@ -522,6 +555,9 @@ func (f *Fabric) retrySchedule(host int, t0 sim.Time) (at sim.Time, retries int,
 		}
 		f.stats.Retransmits++
 	}
+	if retries > 0 && f.trace != nil {
+		f.trace(TraceEvent{T: t, Kind: TraceRetransmit, Host: host, Retries: retries})
+	}
 	return t, retries, true
 }
 
@@ -532,6 +568,9 @@ func (f *Fabric) retrySchedule(host int, t0 sim.Time) (at sim.Time, retries int,
 func (f *Fabric) breakPair(at sim.Time, q *QP, wrid uint64, op Opcode, retries int) {
 	peer := q.peer
 	q.broken, peer.broken = true, true
+	if f.trace != nil {
+		f.trace(TraceEvent{T: at, Kind: TraceQPBreak, Host: q.dev.Env.Host.Index, Retries: retries})
+	}
 	r := q.resAll()
 	f.eng.AtRes(at, func() {
 		q.sendCQ.push(at, CQE{QP: q, WRID: wrid, Op: op, Status: WCRetryExceeded, Retries: retries})

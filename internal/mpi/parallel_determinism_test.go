@@ -69,12 +69,18 @@ func mixedWorkload(r *Rank) error {
 }
 
 // runDeterminismJob runs the workload at the given dispatch width and
-// returns (application transcript, scheduler transcript).
+// returns (application transcript, scheduler transcript). The world runs
+// with the legacy tracer attached and the trace rides in the application
+// transcript, so every width comparison below also pins trace byte-identity
+// — and, since tracing no longer forces sequential dispatch, exercises the
+// buffered per-group emission path.
 func runDeterminismJob(t *testing.T, workers int, plan *fault.Plan) (string, string) {
 	t.Helper()
+	var tr strings.Builder
 	opts := DefaultOptions()
 	opts.Profile = true
 	opts.FaultPlan = plan
+	opts.Trace = &tr
 	w := testWorld(t, "2host4cont", 16, opts)
 	w.Eng.SetWorkers(workers)
 	if err := w.Run(mixedWorkload); err != nil {
@@ -92,6 +98,7 @@ func runDeterminismJob(t *testing.T, workers int, plan *fault.Plan) (string, str
 		fmt.Fprintf(&app, " ops=%v bytes=%v\n", rp.Channels.Ops, rp.Channels.Bytes)
 	}
 	fmt.Fprintf(&app, "faults=%d\n", w.Prof.TotalFaults().Total())
+	fmt.Fprintf(&app, "trace:\n%s", tr.String())
 
 	st := w.SimStats()
 	sched := fmt.Sprintf("dispatched=%d stale=%d coalesced=%d heap=%d batches=%d width=%d",

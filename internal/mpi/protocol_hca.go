@@ -6,6 +6,7 @@ import (
 
 	"cmpi/internal/core"
 	"cmpi/internal/ib"
+	"cmpi/internal/trace"
 )
 
 // HCA wire message kinds.
@@ -107,6 +108,7 @@ func (r *Rank) hcaRndvSend(req *Request) {
 	wire := r.putHdr(hcaRTS, req.ctx, r.rank, req.tag, len(req.sbuf), seq, msgID, nil)
 	qp.PostSend(r.p, 0, wire, 0)
 	r.pools.buf.Put(wire)
+	r.trace(trace.OpRTS, trace.PathOf(core.PathHCARndv), req.peer, req.tag, req.ctx, len(req.sbuf), seq)
 }
 
 // handleCQE dispatches one completion from the rank's CQ.
@@ -301,4 +303,5 @@ func (r *Rank) hcaSendCTS(env *envelope, req *Request) {
 	wire := r.putHdr(hcaCTS, env.ctx, r.rank, env.tag, env.size, env.seq, env.msgID, nil)
 	qp.PostSend(r.p, 0, wire, 0)
 	r.pools.buf.Put(wire)
+	r.trace(trace.OpCTS, trace.PathOf(core.PathHCARndv), env.src, env.tag, env.ctx, env.size, env.seq)
 }

@@ -5,6 +5,7 @@ import (
 	"cmpi/internal/core"
 	"cmpi/internal/shmem"
 	"cmpi/internal/sim"
+	"cmpi/internal/trace"
 )
 
 // pktKind is the type of a shared-memory ring packet.
@@ -54,7 +55,7 @@ type ringDir struct {
 	capacity int
 	used     int
 	q        []*shmPacket
-	head     int // index of the first undrained packet in q
+	head     int  // index of the first undrained packet in q
 	stalled  bool // sender hit the budget; receiver must wake it
 }
 
@@ -178,7 +179,11 @@ func (r *Rank) enqueueShmSend(req *Request, path core.Path) {
 	// publishes into both ranks' localPairs lists).
 	r.claimPair(req, req.peer, false)
 	if _, err := r.ringFor(req.peer); err != nil {
-		r.trace("shm-fallback", "hca", req.peer, req.tag, req.ctx, len(req.sbuf))
+		// The record keeps the originally selected path (the legacy line
+		// format prints the fallback target instead); the message's sequence
+		// number is still unassigned here and the HCA send below will draw
+		// the same value the send-initiation record carried.
+		r.trace(trace.OpShmFallback, trace.PathOf(path), req.peer, req.tag, req.ctx, len(req.sbuf), r.sendSeq[req.peer])
 		if r.prof != nil {
 			r.prof.Faults.ShmFallbacks++
 		}
@@ -287,6 +292,7 @@ func (r *Rank) pushOp(d *ringDir, op *sendOp) bool {
 			return false
 		}
 		op.firstPushed = true
+		r.trace(trace.OpRTS, trace.PathOf(op.path), op.dst, op.tag, op.ctx, len(op.data), op.seq)
 		if op.path == core.PathCMARndv {
 			op.state = opAwaitFIN
 		} else {
@@ -435,7 +441,7 @@ func (r *Rank) performCMARead(env *envelope, req *Request) {
 		// through the shared ring instead (rendezvous streaming, the UseCMA=0
 		// path). The CTS flips the parked sender from opAwaitFIN to
 		// streaming; future transfers on this pair skip CMA entirely.
-		r.trace("cma-fallback", "shm", env.src, env.tag, env.ctx, env.size)
+		r.trace(trace.OpCMAFallback, trace.PathOf(core.PathCMARndv), env.src, env.tag, env.ctx, env.size, env.seq)
 		if r.prof != nil {
 			r.prof.Faults.CMAFallbacks++
 		}
@@ -464,6 +470,7 @@ func (r *Rank) performCMARead(env *envelope, req *Request) {
 
 // sendCTS releases a SHM-staged rendezvous sender.
 func (r *Rank) sendCTS(env *envelope) {
+	r.trace(trace.OpCTS, trace.PathOf(env.path), env.src, env.tag, env.ctx, env.size, env.seq)
 	r.streams[streamKey{src: env.src, seq: env.seq}] = env
 	pkt := r.pools.pkts.get()
 	pkt.kind, pkt.sop = pktCTS, env.sop

@@ -3,6 +3,7 @@ package mpi
 import (
 	"cmpi/internal/core"
 	"cmpi/internal/ib"
+	"cmpi/internal/trace"
 )
 
 // Status describes a completed receive.
@@ -170,7 +171,7 @@ func (r *Rank) completeRecv(req *Request, env *envelope) {
 	req.status = Status{Source: env.src, Tag: env.tag, Bytes: env.size}
 	req.done = true
 	r.releaseClaim(req)
-	r.trace("recv", env.path.String(), env.src, env.tag, env.ctx, env.size)
+	r.trace(trace.OpRecv, trace.PathOf(env.path), env.src, env.tag, env.ctx, env.size, env.seq)
 	r.pools.buf.Put(env.staged)
 	req.env = nil
 	r.pools.envs.put(env)
@@ -225,7 +226,7 @@ func (r *Rank) isendCtx(dst, tag, ctx int, data []byte) *Request {
 	req := r.getReq()
 	req.r, req.isSend, req.peer, req.tag, req.ctx, req.sbuf = r, true, dst, tag, ctx, data
 	if dst == r.rank {
-		r.trace("send", "self", req.peer, tag, ctx, len(data))
+		r.trace(trace.OpSend, trace.PathSelf, req.peer, tag, ctx, len(data), r.sendSeq[r.rank])
 		r.selfSend(req)
 		return req
 	}
@@ -236,7 +237,7 @@ func (r *Rank) isendCtx(dst, tag, ctx int, data []byte) *Request {
 		return req
 	}
 	path := r.pathFor(dst, len(data))
-	r.trace("send", path.String(), dst, tag, ctx, len(data))
+	r.trace(trace.OpSend, trace.PathOf(path), dst, tag, ctx, len(data), r.sendSeq[dst])
 	switch path {
 	case core.PathSHMEager, core.PathSHMRndv, core.PathCMARndv:
 		r.enqueueShmSend(req, path)
@@ -402,10 +403,10 @@ func (r *Rank) Ssend(dst, tag int, data []byte) {
 		if r.caps[dst].SharedPID && r.w.Opts.Tunables.UseCMA {
 			forced = core.PathCMARndv
 		}
-		r.trace("ssend", forced.String(), dst, tag, 0, len(data))
+		r.trace(trace.OpSsend, trace.PathOf(forced), dst, tag, 0, len(data), r.sendSeq[dst])
 		r.enqueueShmSend(req, forced)
 	default:
-		r.trace("ssend", core.PathHCARndv.String(), dst, tag, 0, len(data))
+		r.trace(trace.OpSsend, trace.PathOf(core.PathHCARndv), dst, tag, 0, len(data), r.sendSeq[dst])
 		r.hcaRndvSend(req)
 	}
 	r.wait(req)

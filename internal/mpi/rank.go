@@ -10,6 +10,7 @@ import (
 	"cmpi/internal/ib"
 	"cmpi/internal/profile"
 	"cmpi/internal/sim"
+	"cmpi/internal/trace"
 )
 
 // Rank is one MPI process. All communication methods must be called from
@@ -379,13 +380,19 @@ func (r *Rank) crossSocket(peer int) bool {
 	return r.w.Deploy.Placements[peer].Socket() != r.socket
 }
 
-// trace emits one message-event line when Options.Trace is set.
-func (r *Rank) trace(event, path string, peer, tag, ctx, bytes int) {
-	if r.w.Opts.Trace == nil {
+// trace emits one structured trace record when the world has a trace
+// consumer (Options.Trace or Options.Record). Records ride the engine's
+// emitter: buffered per epoch group and flushed at the barrier in
+// deterministic (t, group, seq) commit order, so tracing never perturbs —
+// and is never perturbed by — parallel dispatch.
+func (r *Rank) trace(op trace.Op, path trace.PathCode, peer, tag, ctx, bytes int, seq uint64) {
+	if !r.w.tracing {
 		return
 	}
-	fmt.Fprintf(r.w.Opts.Trace, "t=%v %s rank=%d peer=%d tag=%d ctx=%#x bytes=%d path=%s\n",
-		r.p.Now(), event, r.rank, peer, tag, ctx, bytes, path)
+	r.p.Emit(trace.Record{
+		T: r.p.Now(), Op: op, Path: path,
+		Rank: r.rank, Peer: peer, Tag: tag, Ctx: ctx, Bytes: bytes, Aux: seq,
+	})
 }
 
 // containerOverhead is the extra per-operation kernel-path cost paid when

@@ -4,6 +4,7 @@ import (
 	"cmpi/internal/cma"
 	"cmpi/internal/core"
 	"cmpi/internal/ib"
+	"cmpi/internal/trace"
 )
 
 // Win is a one-sided communication window (MPI_Win). Windows are created
@@ -129,6 +130,7 @@ func (w *Win) access(target, offset int, data []byte, isPut bool) {
 			copy(data, tw.buf[offset:])
 		}
 		r.countOp(core.ChannelSHM, len(data))
+		w.traceAccess(isPut, trace.ChanSHM, target, len(data))
 
 	case w.localPutGet(target) && cap.SharedPID && r.w.Opts.Tunables.UseCMA:
 		// Large: one process_vm_* call, single copy.
@@ -144,6 +146,7 @@ func (w *Win) access(target, offset int, data []byte, isPut bool) {
 			r.p.Fatalf("CMA RMA to rank %d: %v", target, err)
 		}
 		r.countOp(core.ChannelCMA, len(data))
+		w.traceAccess(isPut, trace.ChanCMA, target, len(data))
 
 	default:
 		// Network path (including HCA loopback for undetected co-residents).
@@ -160,7 +163,19 @@ func (w *Win) access(target, offset int, data []byte, isPut bool) {
 			qp.PostRead(r.p, r.nextWrid, data, tw.mr, offset)
 		}
 		r.countOp(core.ChannelHCA, len(data))
+		w.traceAccess(isPut, trace.ChanHCA, target, len(data))
 	}
+}
+
+// traceAccess records one remote one-sided access with the channel it used
+// (self-accesses are plain local copies and are not traced, matching the
+// profiler, which does not count them either).
+func (w *Win) traceAccess(isPut bool, ch trace.PathCode, target, bytes int) {
+	op := trace.OpRMAGet
+	if isPut {
+		op = trace.OpRMAPut
+	}
+	w.r.trace(op, ch, target, 0, 0, bytes, 0)
 }
 
 // Accumulate combines data into target's window at offset with op

@@ -1,0 +1,56 @@
+package mpi
+
+import (
+	"io"
+
+	"cmpi/internal/cluster"
+	"cmpi/internal/ib"
+	"cmpi/internal/sim"
+	"cmpi/internal/trace"
+)
+
+// installTracer wires the world's trace consumers to the engine's
+// deterministic emitter and hooks the substrates that emit fault events.
+// Called once from Run when Options.Trace or Options.Record is set.
+func (w *World) installTracer() {
+	rec := w.Opts.Record
+	if rec != nil {
+		rec.Begin(w.Size(), w.Opts.Params.ShmCellPayload)
+	}
+	legacy := w.Opts.Trace
+	w.Eng.SetEmitter(func(payload any) {
+		r, ok := payload.(trace.Record)
+		if !ok {
+			return
+		}
+		if rec != nil {
+			rec.Add(r)
+		}
+		if legacy != nil {
+			if line := r.LegacyLine(); line != "" {
+				io.WriteString(legacy, line)
+			}
+		}
+	})
+	// Substrate fault events (retransmissions, QP breaks, attach vetoes) only
+	// fire in fault-injected worlds, which run the sequential loop — so these
+	// hooks may emit from engine callbacks without a Proc context and still
+	// land in dispatch order.
+	w.fabric.SetTrace(func(ev ib.TraceEvent) {
+		op := trace.OpRetransmit
+		if ev.Kind == ib.TraceQPBreak {
+			op = trace.OpQPBreak
+		}
+		w.Eng.EmitAt(ev.T, sim.Global, trace.Record{
+			T: ev.T, Op: op, Path: trace.PathNone,
+			Rank: -1, Peer: ev.Host, Aux: uint64(ev.Retries),
+		})
+	})
+	w.shm.SetAttachTrace(func(env *cluster.Container, name string) {
+		t := w.Eng.Now()
+		w.Eng.EmitAt(t, sim.Global, trace.Record{
+			T: t, Op: trace.OpAttachFail, Path: trace.PathNone,
+			Rank: -1, Peer: env.Host.Index,
+		})
+	})
+}

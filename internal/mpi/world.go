@@ -56,10 +56,14 @@ type World struct {
 	ran                bool
 
 	// parallel is set in Run when this world installs rank footprints for
-	// the engine's conservative epoch dispatch: workers > 1 and neither
-	// fault injection nor message tracing in play (both observe global
-	// ordering, so those worlds stay on the sequential loop).
+	// the engine's conservative epoch dispatch: everything except fault
+	// injection qualifies (the injector's plan queries mutate shared state
+	// on every channel decision, so those worlds stay sequential).
 	parallel bool
+	// tracing is set in Run when a trace consumer is installed (the legacy
+	// Options.Trace line writer or the structured Options.Record); rank
+	// hooks check it before building records.
+	tracing bool
 	// serial flips (sticky) when a rank touches job-global tables that the
 	// claim protocol does not cover — communicator context ids, RMA window
 	// exchange. Every footprint collapses to Global at the next epoch.
@@ -137,15 +141,20 @@ func (w *World) Run(body func(r *Rank) error) error {
 		return fmt.Errorf("mpi: World.Run called twice; build a fresh World per job")
 	}
 	w.ran = true
+	w.tracing = w.Opts.Trace != nil || w.Opts.Record != nil
+	if w.tracing {
+		w.installTracer()
+	}
 	// Epoch dispatch engages for every world with no observer of global event
 	// order — at any width, including one. Group formation is decided by event
 	// times and footprints alone, so a width-1 run executes the exact same
 	// groups (serially, in group-index order) as a width-N run: worker count
 	// can never change simulated results. The fault injector's queries mutate
-	// shared plan state, and trace output interleaves by wall-dispatch order,
-	// so those worlds run the classic sequential loop (which also keeps
-	// Eng.Now()-based fault timestamps exact).
-	w.parallel = w.inj == nil && w.Opts.Trace == nil
+	// shared plan state, so those worlds run the classic sequential loop
+	// (which also keeps Eng.Now()-based fault timestamps exact). Tracing does
+	// NOT serialize: records ride the engine's emitter, buffered per epoch
+	// group and flushed in deterministic (t, group, seq) commit order.
+	w.parallel = w.inj == nil
 	for i := range w.ranks {
 		r := w.ranks[i]
 		p := w.Eng.Go(fmt.Sprintf("rank%d", r.rank), func(p *sim.Proc) {

@@ -34,6 +34,10 @@ type segKey struct {
 // to fail the attach.
 type AttachFaultHook func(env *cluster.Container, name string) error
 
+// AttachTraceHook observes vetoed attaches (for the trace subsystem). It is
+// called after the fault hook rejects, before the error returns.
+type AttachTraceHook func(env *cluster.Container, name string)
+
 // Registry is the kernel-side table of shared segments, one per simulation.
 // The table itself is mutex-protected: under the engine's parallel epoch
 // dispatch, independent rank pairs may attach distinct segments concurrently
@@ -43,6 +47,7 @@ type Registry struct {
 	mu          sync.Mutex
 	segs        map[segKey]*Segment
 	attachFault AttachFaultHook
+	attachTrace AttachTraceHook
 }
 
 // NewRegistry returns an empty registry.
@@ -53,6 +58,9 @@ func NewRegistry() *Registry {
 // SetAttachFault installs (or, with nil, removes) a fault hook consulted by
 // every CreateOrAttach before it touches the segment table.
 func (r *Registry) SetAttachFault(h AttachFaultHook) { r.attachFault = h }
+
+// SetAttachTrace installs (or, with nil, removes) the vetoed-attach observer.
+func (r *Registry) SetAttachTrace(h AttachTraceHook) { r.attachTrace = h }
 
 // ErrWrongNamespaceKind is returned when attaching via a non-IPC namespace.
 var ErrWrongNamespaceKind = fmt.Errorf("shmem: namespace is not an IPC namespace")
@@ -67,6 +75,9 @@ func (r *Registry) CreateOrAttach(env *cluster.Container, name string, size int)
 	}
 	if r.attachFault != nil {
 		if err := r.attachFault(env, name); err != nil {
+			if r.attachTrace != nil {
+				r.attachTrace(env, name)
+			}
 			return nil, err
 		}
 	}

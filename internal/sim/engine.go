@@ -49,6 +49,12 @@ type Engine struct {
 	epochID       uint64
 	ufParent      map[Res]Res
 	epochDepthMax int
+
+	// emit, when installed, receives observer payloads (trace records) in
+	// deterministic order: dispatch order under the sequential loop, commit
+	// order — (t, group index, group-local seq), flushed at each epoch
+	// barrier — under epoch dispatch. Identical for any worker count.
+	emit func(payload any)
 }
 
 // Stats counts scheduler activity, for capacity planning and engine
@@ -124,6 +130,31 @@ func (e *Engine) SetWorkers(n int) {
 
 // Workers reports the configured dispatch width.
 func (e *Engine) Workers() int { return e.workers }
+
+// SetEmitter installs fn as the engine's emission sink (Proc.Emit, EmitAt).
+// Under epoch dispatch emissions are buffered per group and fn is called at
+// each epoch barrier in (t, group index, group-local seq) order — the same
+// deterministic order commitEpoch re-sequences events in — so the emission
+// stream is byte-identical for any worker count. fn runs in scheduler
+// context, never concurrently. Call before Run; nil removes the sink.
+func (e *Engine) SetEmitter(fn func(payload any)) { e.emit = fn }
+
+// EmitAt forwards payload to the installed emitter from contexts that have
+// no Proc (scheduler callbacks, substrate hooks). Under epoch dispatch the
+// caller must own res, exactly as for AtRes; under sequential dispatch the
+// payload is forwarded immediately in dispatch order.
+func (e *Engine) EmitAt(t Time, res Res, payload any) {
+	if e.emit == nil {
+		return
+	}
+	if e.epoch != nil {
+		g := e.groupFor(res)
+		g.seq++
+		g.emits = append(g.emits, emitRec{t: t, seq: g.seq, payload: payload})
+		return
+	}
+	e.emit(payload)
+}
 
 // Now reports the engine's current virtual time: the time of the most
 // recently dispatched event (sequential loop) or the current epoch's floor —

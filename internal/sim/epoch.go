@@ -71,9 +71,22 @@ type execGroup struct {
 	// spill collects events to re-commit to the global heap: quota leftovers
 	// and YieldRegroup reschedules.
 	spill []event
+	// emits buffers observer payloads (Proc.Emit/Engine.EmitAt) produced
+	// during this group's execution; commitEpoch flushes them to the engine's
+	// emitter in (t, group index, seq) order. Entries share the group-local
+	// seq counter, so within a group emission order is causal order.
+	emits []emitRec
 	// failure is the group's first failure and the virtual time it happened.
 	failure error
 	failAt  Time
+}
+
+// emitRec is one buffered emission: the payload plus the (t, seq) key that
+// orders it deterministically at the epoch barrier.
+type emitRec struct {
+	t       Time
+	seq     uint64
+	payload any
 }
 
 // pushLocal enqueues an event produced during this group's execution.
@@ -311,6 +324,15 @@ func (e *Engine) commitEpoch(ep *epochState) {
 	if depth > e.epochDepthMax {
 		e.epochDepthMax = depth
 	}
+	// Flush buffered emissions in (t, group index, group-local seq) order —
+	// the groups and their execution are width-independent, so the flushed
+	// stream is byte-identical for any worker count. Flushed even on stop so
+	// a failed traced run keeps the records of every group that executed
+	// (groups race the stop flag, so only successful runs guarantee
+	// cross-width byte identity).
+	if e.emit != nil {
+		e.flushEmits(ep)
+	}
 	if e.stopped.Load() {
 		return // pending events are discarded, as in the sequential engine
 	}
@@ -348,6 +370,45 @@ func (e *Engine) commitEpoch(ep *epochState) {
 			ev.proc.timerSeq = e.seq
 		}
 		e.pq.push(ev)
+	}
+}
+
+// flushEmits hands the epoch's buffered emissions to the emitter in
+// (t, group index, group-local seq) order. Within a group seq order is
+// causal order, but timestamps are not monotone across groups — one group
+// may run ahead of another in virtual time before the barrier — so the
+// merged stream is sorted, not concatenated. The (group, seq) pair is
+// unique, making the sort a total order.
+func (e *Engine) flushEmits(ep *epochState) {
+	total := 0
+	for _, g := range ep.groups {
+		total += len(g.emits)
+	}
+	if total == 0 {
+		return
+	}
+	type tagged struct {
+		gi int
+		er emitRec
+	}
+	flush := make([]tagged, 0, total)
+	for gi, g := range ep.groups {
+		for _, er := range g.emits {
+			flush = append(flush, tagged{gi: gi, er: er})
+		}
+	}
+	sort.Slice(flush, func(a, b int) bool {
+		ta, tb := &flush[a], &flush[b]
+		if ta.er.t != tb.er.t {
+			return ta.er.t < tb.er.t
+		}
+		if ta.gi != tb.gi {
+			return ta.gi < tb.gi
+		}
+		return ta.er.seq < tb.er.seq
+	})
+	for i := range flush {
+		e.emit(flush[i].er.payload)
 	}
 }
 

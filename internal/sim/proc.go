@@ -129,6 +129,24 @@ func (p *Proc) YieldRegroup() {
 	p.switchOut()
 }
 
+// Emit forwards payload to the engine's emitter (SetEmitter) at the
+// process's current virtual time. Under epoch dispatch the payload is
+// buffered in the process's group and flushed at the epoch barrier in
+// deterministic (t, group index, group-local seq) order; under sequential
+// dispatch it is forwarded immediately. A no-op without an emitter.
+func (p *Proc) Emit(payload any) {
+	e := p.eng
+	if e.emit == nil {
+		return
+	}
+	if g := p.group; g != nil {
+		g.seq++
+		g.emits = append(g.emits, emitRec{t: p.now, seq: g.seq, payload: payload})
+		return
+	}
+	e.emit(payload)
+}
+
 // ID returns the spawn-order index of the process.
 func (p *Proc) ID() int { return p.id }
 

@@ -1,0 +1,34 @@
+package trace
+
+import "fmt"
+
+// Diff compares two traces and returns a description of the first
+// divergence — header mismatch, first differing record (with both
+// renderings), or a length mismatch — or "" when the traces are identical.
+// Because the v1 encoding is canonical, an empty Diff is equivalent to
+// byte-identical files.
+func Diff(a, b *Trace) string {
+	if a.Ranks != b.Ranks || a.Cell != b.Cell {
+		return fmt.Sprintf("header differs: ranks=%d cell=%d vs ranks=%d cell=%d",
+			a.Ranks, a.Cell, b.Ranks, b.Cell)
+	}
+	n := len(a.Records)
+	if len(b.Records) < n {
+		n = len(b.Records)
+	}
+	for i := 0; i < n; i++ {
+		if a.Records[i] != b.Records[i] {
+			return fmt.Sprintf("record %d differs:\n  a: %s  b: %s",
+				i, appendRecord(nil, a.Records[i]), appendRecord(nil, b.Records[i]))
+		}
+	}
+	if len(a.Records) != len(b.Records) {
+		longer, name := a, "a"
+		if len(b.Records) > len(a.Records) {
+			longer, name = b, "b"
+		}
+		return fmt.Sprintf("record count differs: %d vs %d; first extra record in %s:\n  %s",
+			len(a.Records), len(b.Records), name, appendRecord(nil, longer.Records[n]))
+	}
+	return ""
+}

@@ -1,0 +1,339 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+
+	"cmpi/internal/core"
+	"cmpi/internal/profile"
+	"cmpi/internal/sim"
+)
+
+// Replay reconstructs a run's observable statistics from its trace alone:
+// per-rank channel profile counters (exactly the values the live profiler
+// would report), per-path message-size histograms, and per-path send→recv
+// latency. No rank goroutines and no world are involved — the trace is the
+// single input.
+//
+// Channel-credit rules mirror where the runtime counts operations:
+//
+//   - self-delivery and SHM paths are counted on the sender, per ring-cell
+//     fragment (an eager message always pushes at least one first packet,
+//     a rendezvous stream pushes exactly ceil(bytes/cell));
+//   - a CMA rendezvous is one process_vm_readv counted on the RECEIVER, so
+//     the credit lands at the recv record;
+//   - HCA sends are one work-request post counted on the sender;
+//   - a shm-fallback cancels the original path's sender credit and books
+//     one HCA operation instead; a cma-fallback books the sender's SHM
+//     streaming fragments;
+//   - RMA records carry their channel directly; RTS/CTS and fault records
+//     carry no channel credit.
+//
+// Per-call MPI wall-time counters (RankProfile.MPITime) are not encoded in
+// the trace and are out of replay's scope; channel ops/bytes and fallback
+// counts reconstruct exactly for a successfully completed recording.
+
+// pathCount is how many PathCode values the per-path tables index (0..8).
+const pathCount = 9
+
+// PathStats aggregates the messages initiated on one path.
+type PathStats struct {
+	// Msgs and Bytes count send-initiation records on this path.
+	Msgs, Bytes uint64
+	// MinB/MaxB bound the observed message sizes (valid when Msgs > 0).
+	MinB, MaxB int
+	// Hist is the log2 size histogram: bucket 0 counts empty messages,
+	// bucket k counts sizes in [2^(k-1), 2^k).
+	Hist [33]uint64
+	// LatCount/LatTotal/LatMin/LatMax describe matched send→recv latency on
+	// the effective delivery path (a fallback send is matched under the path
+	// the payload actually took).
+	LatCount uint64
+	LatTotal sim.Time
+	LatMin   sim.Time
+	LatMax   sim.Time
+}
+
+// Summary is the result of replaying one trace.
+type Summary struct {
+	// Ranks and Cell echo the trace header; Records is the record count.
+	Ranks, Cell, Records int
+	// PerRank reconstructs each rank's profiler channel counters.
+	PerRank []profile.ChannelStats
+	// PerPath aggregates messages by PathCode index.
+	PerPath [pathCount]PathStats
+	// ShmFallbacks / CMAFallbacks reconstruct the fault-stat totals.
+	ShmFallbacks, CMAFallbacks uint64
+	// Rendezvous counts RTS handshakes (eager→rendezvous transitions).
+	Rendezvous uint64
+	// Retransmits sums retries over retransmit records; QPBreaks and
+	// AttachFails count their records.
+	Retransmits, QPBreaks, AttachFails uint64
+	// UnmatchedSends counts send records with no matching receive (in-flight
+	// at the end of a failed or truncated recording).
+	UnmatchedSends int
+	// Anomalies counts records that violated the credit rules (receive
+	// without a send, fallback underflow) — zero for any complete recording.
+	Anomalies int
+}
+
+// sendKey matches a receive completion to its send initiation: the runtime
+// stamps every message with a per-(src,dst) sequence number (Record.Aux).
+type sendKey struct {
+	src, dst int
+	seq      uint64
+}
+
+type pendingSend struct {
+	at   sim.Time
+	path PathCode
+}
+
+// shmFrags is the ring-cell fragment count of a streamed payload.
+func shmFrags(bytes, cell int) uint64 {
+	return uint64((bytes + cell - 1) / cell)
+}
+
+// Replay reconstructs a Summary from tr.
+func Replay(tr *Trace) *Summary {
+	s := &Summary{
+		Ranks:   tr.Ranks,
+		Cell:    tr.Cell,
+		Records: len(tr.Records),
+		PerRank: make([]profile.ChannelStats, tr.Ranks),
+	}
+	inflight := make(map[sendKey]pendingSend)
+	credit := func(rank int, ch core.Channel, ops, bytes uint64) {
+		if rank < 0 || rank >= s.Ranks {
+			s.Anomalies++
+			return
+		}
+		s.PerRank[rank].Ops[ch] += ops
+		s.PerRank[rank].Bytes[ch] += bytes
+	}
+	debit := func(rank int, ch core.Channel, ops, bytes uint64) {
+		if rank < 0 || rank >= s.Ranks ||
+			s.PerRank[rank].Ops[ch] < ops || s.PerRank[rank].Bytes[ch] < bytes {
+			s.Anomalies++
+			return
+		}
+		s.PerRank[rank].Ops[ch] -= ops
+		s.PerRank[rank].Bytes[ch] -= bytes
+	}
+	// sendCredit books the sender-side channel credit for a message
+	// initiated on path; sign=+1 applies it, sign=-1 cancels it (fallback).
+	sendCredit := func(rank int, path PathCode, bytes int, cancel bool) {
+		var ch core.Channel
+		var ops uint64
+		switch path {
+		case PathSelf:
+			ch, ops = core.ChannelSHM, 1
+		case PathOf(core.PathSHMEager):
+			ch, ops = core.ChannelSHM, shmFrags(bytes, tr.Cell)
+			if ops == 0 {
+				ops = 1 // an empty eager message still pushes its first packet
+			}
+		case PathOf(core.PathSHMRndv):
+			ch, ops = core.ChannelSHM, shmFrags(bytes, tr.Cell)
+		case PathOf(core.PathCMARndv):
+			return // the single copy is the receiver's, booked at the recv
+		case PathOf(core.PathHCAEager), PathOf(core.PathHCARndv):
+			ch, ops = core.ChannelHCA, 1
+		default:
+			s.Anomalies++
+			return
+		}
+		if cancel {
+			debit(rank, ch, ops, uint64(bytes)*minU64(ops, 1))
+		} else {
+			credit(rank, ch, ops, uint64(bytes)*minU64(ops, 1))
+		}
+	}
+
+	for _, r := range tr.Records {
+		switch r.Op {
+		case OpSend, OpSsend:
+			sendCredit(r.Rank, r.Path, r.Bytes, false)
+			if r.Path >= 0 && int(r.Path) < pathCount {
+				p := &s.PerPath[r.Path]
+				if p.Msgs == 0 || r.Bytes < p.MinB {
+					p.MinB = r.Bytes
+				}
+				if r.Bytes > p.MaxB {
+					p.MaxB = r.Bytes
+				}
+				p.Msgs++
+				p.Bytes += uint64(r.Bytes)
+				b := bits.Len(uint(r.Bytes))
+				if b >= len(p.Hist) {
+					b = len(p.Hist) - 1
+				}
+				p.Hist[b]++
+			}
+			inflight[sendKey{src: r.Rank, dst: r.Peer, seq: r.Aux}] = pendingSend{at: r.T, path: r.Path}
+
+		case OpRecv:
+			if p, ok := r.Path.Path(); ok && p == core.PathCMARndv {
+				credit(r.Rank, core.ChannelCMA, 1, uint64(r.Bytes))
+			}
+			key := sendKey{src: r.Peer, dst: r.Rank, seq: r.Aux}
+			snd, ok := inflight[key]
+			if !ok {
+				s.Anomalies++
+				break
+			}
+			delete(inflight, key)
+			if r.Path >= 0 && int(r.Path) < pathCount && r.T >= snd.at {
+				p := &s.PerPath[r.Path]
+				d := r.T - snd.at
+				if p.LatCount == 0 || d < p.LatMin {
+					p.LatMin = d
+				}
+				if d > p.LatMax {
+					p.LatMax = d
+				}
+				p.LatCount++
+				p.LatTotal += d
+			}
+
+		case OpShmFallback:
+			s.ShmFallbacks++
+			sendCredit(r.Rank, r.Path, r.Bytes, true) // cancel the phantom SHM credit
+			credit(r.Rank, core.ChannelHCA, 1, uint64(r.Bytes))
+
+		case OpCMAFallback:
+			s.CMAFallbacks++
+			// The sender (Peer) streams the payload through the shared ring.
+			credit(r.Peer, core.ChannelSHM, shmFrags(r.Bytes, tr.Cell), uint64(r.Bytes))
+
+		case OpRTS:
+			s.Rendezvous++
+
+		case OpCTS:
+			// Protocol transition marker only; no channel credit.
+
+		case OpRMAPut, OpRMAGet:
+			switch r.Path {
+			case ChanSHM:
+				credit(r.Rank, core.ChannelSHM, 1, uint64(r.Bytes))
+			case ChanCMA:
+				credit(r.Rank, core.ChannelCMA, 1, uint64(r.Bytes))
+			case ChanHCA:
+				credit(r.Rank, core.ChannelHCA, 1, uint64(r.Bytes))
+			default:
+				s.Anomalies++
+			}
+
+		case OpRetransmit:
+			s.Retransmits += r.Aux
+
+		case OpQPBreak:
+			s.QPBreaks++
+
+		case OpAttachFail:
+			s.AttachFails++
+		}
+	}
+	s.UnmatchedSends = len(inflight)
+	return s
+}
+
+// minU64 returns b when a is zero, used to zero the byte credit alongside a
+// zero op credit.
+func minU64(a, b uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return b
+}
+
+// Total sums the reconstructed per-rank channel stats (the Table I view).
+func (s *Summary) Total() profile.ChannelStats {
+	var total profile.ChannelStats
+	for i := range s.PerRank {
+		total.Merge(&s.PerRank[i])
+	}
+	return total
+}
+
+// Render writes the replay tables as aligned text.
+func (s *Summary) Render(w io.Writer) {
+	fmt.Fprintf(w, "trace replay: %d records, %d ranks, shm cell %d B\n\n", s.Records, s.Ranks, s.Cell)
+
+	fmt.Fprintf(w, "per-rank channel operations (reconstructed profile counters)\n")
+	fmt.Fprintf(w, "  %4s  %12s %14s  %12s %14s  %12s %14s\n",
+		"rank", "shm ops", "shm bytes", "cma ops", "cma bytes", "hca ops", "hca bytes")
+	for i := range s.PerRank {
+		c := &s.PerRank[i]
+		fmt.Fprintf(w, "  %4d  %12d %14d  %12d %14d  %12d %14d\n", i,
+			c.Ops[core.ChannelSHM], c.Bytes[core.ChannelSHM],
+			c.Ops[core.ChannelCMA], c.Bytes[core.ChannelCMA],
+			c.Ops[core.ChannelHCA], c.Bytes[core.ChannelHCA])
+	}
+	t := s.Total()
+	fmt.Fprintf(w, "  %4s  %12d %14d  %12d %14d  %12d %14d\n\n", "all",
+		t.Ops[core.ChannelSHM], t.Bytes[core.ChannelSHM],
+		t.Ops[core.ChannelCMA], t.Bytes[core.ChannelCMA],
+		t.Ops[core.ChannelHCA], t.Bytes[core.ChannelHCA])
+
+	fmt.Fprintf(w, "per-path messages and latency\n")
+	fmt.Fprintf(w, "  %-10s %8s %14s %10s %10s %10s %12s %12s\n",
+		"path", "msgs", "bytes", "min", "max", "matched", "lat mean", "lat max")
+	for pc := PathCode(0); pc < pathCount; pc++ {
+		p := &s.PerPath[pc]
+		if p.Msgs == 0 {
+			continue
+		}
+		mean := sim.Time(0)
+		if p.LatCount > 0 {
+			mean = p.LatTotal / sim.Time(p.LatCount)
+		}
+		fmt.Fprintf(w, "  %-10s %8d %14d %10d %10d %10d %12v %12v\n",
+			pc, p.Msgs, p.Bytes, p.MinB, p.MaxB, p.LatCount, mean, p.LatMax)
+	}
+
+	// Log2 size histogram over all send initiations.
+	var hist [33]uint64
+	maxBucket := -1
+	for pc := range s.PerPath {
+		for b, n := range s.PerPath[pc].Hist {
+			hist[b] += n
+			if n > 0 && b > maxBucket {
+				maxBucket = b
+			}
+		}
+	}
+	if maxBucket >= 0 {
+		fmt.Fprintf(w, "\nmessage-size histogram (all paths)\n")
+		for b := 0; b <= maxBucket; b++ {
+			if hist[b] == 0 {
+				continue
+			}
+			lo, hi := 0, 0
+			if b > 0 {
+				lo, hi = 1<<(b-1), 1<<b-1
+			}
+			fmt.Fprintf(w, "  %10d..%-10d %8d\n", lo, hi, hist[b])
+		}
+	}
+
+	fmt.Fprintf(w, "\nprotocol and fault events\n")
+	for _, row := range []struct {
+		name string
+		n    uint64
+	}{
+		{"rendezvous handshakes", s.Rendezvous},
+		{"shm fallbacks", s.ShmFallbacks},
+		{"cma fallbacks", s.CMAFallbacks},
+		{"retransmits", s.Retransmits},
+		{"qp breaks", s.QPBreaks},
+		{"attach failures", s.AttachFails},
+	} {
+		fmt.Fprintf(w, "  %-22s %8d\n", row.name, row.n)
+	}
+	if s.UnmatchedSends > 0 || s.Anomalies > 0 {
+		fmt.Fprintf(w, "  %-22s %8d\n", "unmatched sends", s.UnmatchedSends)
+		fmt.Fprintf(w, "  %-22s %8d\n", "anomalies", s.Anomalies)
+	}
+}
