@@ -13,6 +13,7 @@
 //	repro -trace-out golden.trace      # record the canonical trace job
 //	repro -replay golden.trace         # reconstruct counters from a trace
 //	repro -trace-diff A.trace B.trace  # first divergent record, if any
+//	repro -fault-seed 42               # seeded chaos hunt: fuzz, shrink, repro
 package main
 
 import (
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	figID := flag.String("fig", "all", "experiment id (fig1, fig3a, fig3bc, tableI, fig7a..c, fig8..12, ext-scaling, ext-faults) or 'all'")
+	figID := flag.String("fig", "all", "experiment id (fig1, fig3a, fig3bc, tableI, fig7a..c, fig8..12, ext-scaling, ext-faults, ext-recovery) or 'all'")
 	full := flag.Bool("full", false, "run at the paper's full deployment geometry (slower)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text (for plotting)")
@@ -41,6 +42,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "record the canonical trace job to this file and exit")
 	replay := flag.String("replay", "", "replay a recorded trace: reconstruct and print its counters, then exit")
 	traceDiff := flag.Bool("trace-diff", false, "compare the two trace files given as arguments; exit 1 on divergence")
+	faultSeed := flag.Int64("fault-seed", -1, "run the seeded chaos harness: fault.RandomPlan(seed) plus a crash, ddmin-shrunk to the minimal failing repro")
 	flag.Parse()
 
 	if *list {
@@ -84,6 +86,14 @@ func main() {
 	scale := experiments.Quick
 	if *full {
 		scale = experiments.Full
+	}
+
+	if *faultSeed >= 0 {
+		if err := experiments.Chaos(*faultSeed, scale, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "fault-seed: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	run := func(e experiments.Experiment) {

@@ -42,6 +42,7 @@ import (
 	"cmpi/internal/osu"
 	"cmpi/internal/perf"
 	"cmpi/internal/profile"
+	rec "cmpi/internal/recover"
 	"cmpi/internal/sim"
 	"cmpi/internal/trace"
 )
@@ -175,6 +176,50 @@ const (
 
 // ErrInjected is the sentinel all injected faults wrap; test with errors.Is.
 var ErrInjected = fault.ErrInjected
+
+// Recovery: coordinated checkpointing, restart, and communicator shrink
+// (see docs/FAULTS.md, "Recovery").
+type (
+	// RecoverOptions configures World.RunRecoverable (policy, restart
+	// budget, checkpoint store).
+	RecoverOptions = mpi.RecoverOptions
+	// RecoverPolicy selects how a restart rebuilds the world: respawn the
+	// casualties or shrink to the survivors.
+	RecoverPolicy = rec.Policy
+	// RecoverReport summarizes a recoverable run (attempts, failures,
+	// final size, final virtual time).
+	RecoverReport = rec.Report
+	// CheckpointStore holds committed checkpoints across restarts.
+	CheckpointStore = rec.Store
+	// CheckpointSnapshot is one committed coordinated checkpoint.
+	CheckpointSnapshot = rec.Snapshot
+	// ProcFailedError reports a dead peer to a survivor under ErrorsRecover.
+	ProcFailedError = mpi.ProcFailedError
+	// CheckpointError reports an aborted checkpoint barrier.
+	CheckpointError = mpi.CheckpointError
+)
+
+// Recovery policies and the ULFM-style error handler.
+const (
+	// ErrorsRecover keeps survivors running when a rank crashes
+	// (ULFM-style): operations on dead peers fail fast and Comm.Shrink
+	// repairs the communicator in-world.
+	ErrorsRecover = mpi.ErrorsRecover
+	// PolicyRespawn restarts with casualties respawned on surviving hosts.
+	PolicyRespawn = rec.PolicyRespawn
+	// PolicyShrink restarts with the world shrunk to the survivors.
+	PolicyShrink = rec.PolicyShrink
+)
+
+// NewCheckpointStore returns an empty checkpoint store; share one across
+// the restarts of a job via RecoverOptions.Store.
+func NewCheckpointStore() *CheckpointStore { return rec.NewStore() }
+
+// ShrinkFaultPlan ddmin-shrinks a failing fault plan to a minimal plan that
+// still makes fails return true — the chaos harness's repro step.
+func ShrinkFaultPlan(p *FaultPlan, fails func(*FaultPlan) bool) *FaultPlan {
+	return fault.ShrinkPlan(p, fails)
+}
 
 // NewFaultPlan returns an empty fault plan for fluent building.
 func NewFaultPlan() *FaultPlan { return fault.NewPlan() }

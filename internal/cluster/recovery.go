@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Deployment surgery for fault recovery: after ranks die, a job can either
+// continue with fewer ranks (Shrink) or get replacements placed on other
+// hosts (Respawn). Both build a fresh Deployment over the same Cluster —
+// containers of surviving ranks are reused, so a restarted world sees the
+// same namespace topology (and hence the same channel selection) for the
+// survivors.
+
+// Shrink returns a deployment with the given ranks removed and the survivors
+// renumbered densely in their original order, plus the mapping from new rank
+// to old rank. Surviving placements keep their container and core pinning.
+func Shrink(d *Deployment, dead []int) (*Deployment, []int, error) {
+	isDead, err := deadSet(d, dead)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(dead) >= d.Size() {
+		return nil, nil, fmt.Errorf("shrink %q: no survivors", d.Scenario)
+	}
+	nd := &Deployment{Scenario: d.Scenario + "+shrunk", Cluster: d.Cluster}
+	var mapping []int
+	for _, pl := range d.Placements {
+		if isDead[pl.Rank] {
+			continue
+		}
+		nd.Placements = append(nd.Placements, Placement{
+			Rank: len(nd.Placements), Env: pl.Env, Core: pl.Core,
+		})
+		mapping = append(mapping, pl.Rank)
+	}
+	return nd, mapping, nd.Validate()
+}
+
+// Respawn returns a deployment of the same size with each dead rank's
+// process replaced on a different, least-loaded host — the original host is
+// treated as suspect and avoided while any other host has a free core. The
+// replacement gets a fresh container mirroring the dead rank's namespace
+// sharing (or the native environment if the rank ran natively), so the
+// restarted world's locality detector re-derives channel selection for the
+// new placement. Also returns the new host index per dead rank, in the order
+// given.
+func Respawn(d *Deployment, dead []int) (*Deployment, []int, error) {
+	isDead, err := deadSet(d, dead)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := d.Cluster
+	// Core occupancy per host, counting only surviving placements.
+	used := make([]map[int]bool, c.Spec.Hosts)
+	load := make([]int, c.Spec.Hosts)
+	for i := range used {
+		used[i] = make(map[int]bool)
+	}
+	for _, pl := range d.Placements {
+		if isDead[pl.Rank] {
+			continue
+		}
+		hi := pl.Env.Host.Index
+		used[hi][pl.Core] = true
+		load[hi]++
+	}
+
+	nd := &Deployment{Scenario: d.Scenario + "+respawn", Cluster: c}
+	nd.Placements = append([]Placement(nil), d.Placements...)
+	newHosts := make([]int, 0, len(dead))
+	sortedDead := append([]int(nil), dead...)
+	sort.Ints(sortedDead)
+	hostOf := make(map[int]int, len(sortedDead))
+	for _, r := range sortedDead {
+		old := d.Placements[r]
+		hi, core, err := pickSpawnHost(c, used, load, old.Env.Host.Index)
+		if err != nil {
+			return nil, nil, fmt.Errorf("respawn rank %d: %w", r, err)
+		}
+		used[hi][core] = true
+		load[hi]++
+		hostOf[r] = hi
+		env, err := cloneEnv(c.Host(hi), old.Env, core)
+		if err != nil {
+			return nil, nil, fmt.Errorf("respawn rank %d: %w", r, err)
+		}
+		nd.Placements[r] = Placement{Rank: r, Env: env, Core: core}
+	}
+	for _, r := range dead {
+		newHosts = append(newHosts, hostOf[r])
+	}
+	return nd, newHosts, nd.Validate()
+}
+
+// deadSet validates and indexes the dead-rank list.
+func deadSet(d *Deployment, dead []int) ([]bool, error) {
+	isDead := make([]bool, d.Size())
+	for _, r := range dead {
+		if r < 0 || r >= d.Size() {
+			return nil, fmt.Errorf("dead rank %d outside deployment of size %d", r, d.Size())
+		}
+		if isDead[r] {
+			return nil, fmt.Errorf("dead rank %d listed twice", r)
+		}
+		isDead[r] = true
+	}
+	if len(dead) == 0 {
+		return nil, fmt.Errorf("no dead ranks given")
+	}
+	return isDead, nil
+}
+
+// pickSpawnHost selects the least-loaded host with a free core (lowest index
+// on ties), avoiding the suspect host unless it is the only option, and
+// returns the lowest free core on it.
+func pickSpawnHost(c *Cluster, used []map[int]bool, load []int, suspect int) (int, int, error) {
+	pick := -1
+	for hi := 0; hi < c.Spec.Hosts; hi++ {
+		if hi == suspect || load[hi] >= c.Spec.CoresPerHost() {
+			continue
+		}
+		if pick == -1 || load[hi] < load[pick] {
+			pick = hi
+		}
+	}
+	if pick == -1 {
+		if load[suspect] < c.Spec.CoresPerHost() {
+			pick = suspect
+		} else {
+			return 0, 0, fmt.Errorf("no host has a free core")
+		}
+	}
+	for core := 0; core < c.Spec.CoresPerHost(); core++ {
+		if !used[pick][core] {
+			return pick, core, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("host %d reported free but has no free core", pick)
+}
+
+// cloneEnv reproduces env's execution environment on host h, pinned to core:
+// the native root environment for native ranks, otherwise a fresh container
+// with the same namespace-sharing and privilege flags.
+func cloneEnv(h *Host, env *Container, core int) (*Container, error) {
+	if env.IsNative() {
+		return h.NativeEnv(), nil
+	}
+	src := env.Host
+	return h.RunContainer(RunOpts{
+		Privileged:   env.Privileged,
+		ShareHostIPC: env.Namespace(IPC) == src.RootIPC(),
+		ShareHostPID: env.Namespace(PID) == src.RootPID(),
+		ShareHostUTS: env.Namespace(UTS) == src.root.uts,
+		ShareHostNet: env.Namespace(NET) == src.root.net,
+		CPUSet:       []int{core},
+	})
+}

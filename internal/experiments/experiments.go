@@ -124,6 +124,7 @@ func All() []Experiment {
 		{ID: "fig12", Run: Figure12},
 		{ID: "ext-scaling", Run: ScalingExtension},
 		{ID: "ext-faults", Run: FaultsExtension},
+		{ID: "ext-recovery", Run: RecoveryExtension},
 	}
 }
 

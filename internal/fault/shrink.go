@@ -1,0 +1,66 @@
+package fault
+
+// Plan shrinking: given a plan whose run fails some predicate (a chaos run
+// that produced a wrong answer), reduce it to a 1-minimal failing event set —
+// removing any single remaining event makes the failure disappear. This is
+// the classic ddmin complement loop (Zeller's delta debugging), and it is
+// deterministic: the reduction depends only on the event order and the
+// predicate, never on wall-clock or randomness, so a shrunk repro is as
+// replayable as the run that found it.
+
+// Filter returns a new plan keeping only the events keep accepts. Seed
+// metadata is preserved; the receiver is not modified.
+func (p *Plan) Filter(keep func(Event) bool) *Plan {
+	out := &Plan{Seed: p.Seed}
+	for _, e := range p.Events {
+		if keep(e) {
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out
+}
+
+// ShrinkPlan reduces p to a 1-minimal plan for which fails still returns
+// true. fails must be a pure function of the plan (run the simulation, check
+// the outcome); it is invoked repeatedly, including once on p itself. If p
+// does not fail, p is returned unchanged. The result preserves p's Seed and
+// the relative order of surviving events.
+func ShrinkPlan(p *Plan, fails func(*Plan) bool) *Plan {
+	sub := func(evs []Event) *Plan { return &Plan{Seed: p.Seed, Events: evs} }
+	events := append([]Event(nil), p.Events...)
+	if len(events) == 0 || !fails(sub(events)) {
+		return sub(events)
+	}
+	n := 2
+	for len(events) >= 2 {
+		chunk := (len(events) + n - 1) / n
+		reduced := false
+		for i := 0; i < len(events); i += chunk {
+			end := i + chunk
+			if end > len(events) {
+				end = len(events)
+			}
+			comp := make([]Event, 0, len(events)-(end-i))
+			comp = append(comp, events[:i]...)
+			comp = append(comp, events[end:]...)
+			if fails(sub(comp)) {
+				events = comp
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(events) {
+				break // complements are single removals: 1-minimal
+			}
+			n *= 2
+			if n > len(events) {
+				n = len(events)
+			}
+		}
+	}
+	return sub(events)
+}

@@ -1,0 +1,173 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"cmpi/internal/sim"
+)
+
+// Satellite coverage: injector edge cases around window arithmetic and plan
+// validation boundaries.
+
+func TestOverlappingFlapWindowsSameHost(t *testing.T) {
+	// Two overlapping windows on the same host: a stall inside the overlap
+	// must clear to the later end, chaining across both.
+	p := NewPlan().
+		LinkFlap(0, us(10), us(10)). // [10, 20)
+		LinkFlap(0, us(15), us(10))  // [15, 25)
+	in, err := NewInjector(p, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stalled := in.LinkReady(0, us(12))
+	if !stalled || got != us(25) {
+		t.Fatalf("LinkReady(0, 12us) = %v stalled=%v, want 25us true (chained past the overlap)", got, stalled)
+	}
+	// A query inside only the second window clears to its end.
+	got, stalled = in.LinkReady(0, us(21))
+	if !stalled || got != us(25) {
+		t.Fatalf("LinkReady(0, 21us) = %v stalled=%v, want 25us true", got, stalled)
+	}
+}
+
+func TestZeroDurationWindowIsOpenEnded(t *testing.T) {
+	// Duration 0 means "until job end", for every windowed fault kind.
+	p := NewPlan().CMAFail(0, us(10), 0).LinkFlap(1, us(5), 0)
+	in, err := NewInjector(p, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.CMAFails(0, us(9)) {
+		t.Fatal("open-ended window fired before At")
+	}
+	if !in.CMAFails(0, us(10)) || !in.CMAFails(0, sim.Time(1)*sim.Second) {
+		t.Fatal("open-ended CMA window must cover every time from At onward")
+	}
+	// LinkReady defers transfers to the window's *end*; an open-ended flap has
+	// none, so it never stalls (there is no time to defer to). Only windowed
+	// flaps stall.
+	if _, stalled := in.LinkReady(1, sim.Time(1)*sim.Second); stalled {
+		t.Fatal("open-ended link flap has no end to defer to and must not stall")
+	}
+}
+
+func TestStragglerFactorBelowOneRejected(t *testing.T) {
+	p := NewPlan().Straggler(0, us(0), us(10), 0.5)
+	if err := p.Validate(1, 1); err == nil {
+		t.Fatal("Validate accepted Straggler with Factor < 1 (a speed-up, not a fault)")
+	}
+	// Factor exactly 1 is a no-op but legal.
+	if err := NewPlan().Straggler(0, us(0), us(10), 1).Validate(1, 1); err != nil {
+		t.Fatalf("Validate rejected Factor == 1: %v", err)
+	}
+}
+
+func TestNegativeTimeRejected(t *testing.T) {
+	for _, ev := range []Event{
+		{Kind: RankCrash, Rank: 0, At: -us(1)},
+		{Kind: Straggler, Rank: 0, At: us(1), Duration: -us(1), Factor: 2},
+		{Kind: CMAFail, Host: 0, At: -1},
+	} {
+		if err := NewPlan().Add(ev).Validate(2, 2); err == nil {
+			t.Errorf("Validate accepted negative virtual time: %+v", ev)
+		}
+	}
+}
+
+// Shrinking tests.
+
+func TestFilterPreservesSeedAndOrder(t *testing.T) {
+	p := RandomPlan(7, 2, 4, 10, sim.Millisecond)
+	kept := p.Filter(func(e Event) bool { return e.Kind != Straggler })
+	if kept.Seed != 7 {
+		t.Fatalf("Filter dropped the seed: %d", kept.Seed)
+	}
+	for _, e := range kept.Events {
+		if e.Kind == Straggler {
+			t.Fatal("Filter kept a rejected event")
+		}
+	}
+	if len(p.Events) != 10 {
+		t.Fatal("Filter mutated the receiver")
+	}
+}
+
+func TestShrinkPlanFindsSingleCulprit(t *testing.T) {
+	// 12 events, exactly one of which (the RankCrash) triggers the failure.
+	p := RandomPlan(1, 2, 4, 11, sim.Millisecond)
+	p.RankCrash(2, us(100))
+	fails := func(q *Plan) bool {
+		for _, e := range q.Events {
+			if e.Kind == RankCrash {
+				return true
+			}
+		}
+		return false
+	}
+	calls := 0
+	min := ShrinkPlan(p, func(q *Plan) bool { calls++; return fails(q) })
+	if len(min.Events) != 1 || min.Events[0].Kind != RankCrash {
+		t.Fatalf("shrunk to %d events (%v), want the single RankCrash", len(min.Events), min.Events)
+	}
+	if min.Seed != 1 {
+		t.Fatalf("shrink lost the seed: %d", min.Seed)
+	}
+	if calls == 0 || calls > 200 {
+		t.Fatalf("predicate called %d times, expected a modest ddmin budget", calls)
+	}
+}
+
+func TestShrinkPlanConjunction(t *testing.T) {
+	// Failure requires BOTH a LinkFlap and a CMAFail: the minimum is the pair.
+	p := NewPlan().
+		Straggler(0, us(0), us(10), 2).
+		LinkFlap(0, us(5), us(5)).
+		SendDrops(0, us(0), us(10), 1).
+		CMAFail(1, us(7), us(3)).
+		LoopStall(1, us(2), us(2))
+	fails := func(q *Plan) bool {
+		var flap, cma bool
+		for _, e := range q.Events {
+			flap = flap || e.Kind == LinkFlap
+			cma = cma || e.Kind == CMAFail
+		}
+		return flap && cma
+	}
+	min := ShrinkPlan(p, fails)
+	if len(min.Events) != 2 {
+		t.Fatalf("shrunk to %d events (%v), want 2", len(min.Events), min.Events)
+	}
+	if min.Events[0].Kind != LinkFlap || min.Events[1].Kind != CMAFail {
+		t.Fatalf("wrong culprits or order lost: %v", min.Events)
+	}
+}
+
+func TestShrinkPlanNonFailingReturnsUnchanged(t *testing.T) {
+	p := RandomPlan(3, 2, 4, 5, sim.Millisecond)
+	got := ShrinkPlan(p, func(*Plan) bool { return false })
+	if !reflect.DeepEqual(got.Events, p.Events) {
+		t.Fatal("non-failing plan was modified")
+	}
+}
+
+func TestShrinkPlanDeterministic(t *testing.T) {
+	p := RandomPlan(9, 4, 8, 16, sim.Millisecond)
+	fails := func(q *Plan) bool {
+		n := 0
+		for _, e := range q.Events {
+			if e.Kind == SendDrop || e.Kind == LinkFlap {
+				n++
+			}
+		}
+		return n >= 2
+	}
+	a := ShrinkPlan(p, fails)
+	b := ShrinkPlan(p, fails)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("ShrinkPlan is nondeterministic for a pure predicate")
+	}
+	if len(a.Events) != 2 {
+		t.Fatalf("shrunk to %d events, want 2", len(a.Events))
+	}
+}

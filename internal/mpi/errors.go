@@ -23,12 +23,24 @@ const (
 	// failed channel are undefined, as in real MPI; ranks that keep waiting
 	// on a dead peer surface as a deadlock report joined into Run's error.
 	ErrorsReturn
+	// ErrorsRecover is the ULFM-style handler: a RankCrash kills only its
+	// victim. Surviving ranks observe the failure — operations that name the
+	// dead rank (and, conservatively, wildcard receives) complete with a
+	// *ProcFailedError, new operations toward it fail fast, and the world
+	// keeps running so the application can either finish degraded, shrink the
+	// communicator (Comm.Shrink), or return an error and let
+	// World.RunRecoverable rebuild the job from the latest checkpoint.
+	// Channel errors behave exactly as under ErrorsReturn.
+	ErrorsRecover
 )
 
 // String names the handler for diagnostics.
 func (h ErrorHandler) String() string {
-	if h == ErrorsReturn {
+	switch h {
+	case ErrorsReturn:
 		return "errors-return"
+	case ErrorsRecover:
+		return "errors-recover"
 	}
 	return "errors-are-fatal"
 }
@@ -90,6 +102,44 @@ func (e *CrashError) Error() string {
 
 // Unwrap exposes the injected-fault sentinel.
 func (e *CrashError) Unwrap() error { return fault.ErrInjected }
+
+// ProcFailedError is the ULFM MPI_ERR_PROC_FAILED analogue: under
+// ErrorsRecover, an operation involving a crashed rank completes with this
+// error at every surviving rank.
+type ProcFailedError struct {
+	// Peer is the dead rank the operation named (or the rank whose failure
+	// poisoned a wildcard receive).
+	Peer int
+	// At is the virtual time the survivor observed the failure.
+	At sim.Time
+}
+
+// Error formats the failure.
+func (e *ProcFailedError) Error() string {
+	return fmt.Sprintf("peer rank %d failed (observed at %v)", e.Peer, e.At)
+}
+
+// Unwrap exposes the injected-fault sentinel: ranks only die under fault
+// injection.
+func (e *ProcFailedError) Unwrap() error { return fault.ErrInjected }
+
+// CheckpointError reports that a Checkpoint collective aborted because a
+// member rank crashed before the snapshot could commit. No snapshot is
+// written; the store keeps the previous one.
+type CheckpointError struct {
+	// At is the virtual time the abort was observed.
+	At sim.Time
+	// Dead lists the crashed ranks at abort time, ascending.
+	Dead []int
+}
+
+// Error formats the failure.
+func (e *CheckpointError) Error() string {
+	return fmt.Sprintf("checkpoint aborted at %v: ranks %v failed", e.At, e.Dead)
+}
+
+// Unwrap exposes the injected-fault sentinel.
+func (e *CheckpointError) Unwrap() error { return fault.ErrInjected }
 
 // crashAbort unwinds a crashed rank's body back to World.Run's wrapper. It
 // deliberately is not engineAbort: a crash kills one rank, not (directly)

@@ -135,6 +135,12 @@ func (r *Rank) handleCQE(cqe ib.CQE) {
 		ps := r.w.pair(r.rank, peer)
 		st := ps.rndv[cqe.Imm]
 		if st == nil || st.rreq == nil {
+			if r.w.rankDead(peer) {
+				// The sender crashed after posting the write; reapPeer already
+				// failed our side and dropped the rendezvous entry. The stale
+				// payload landing now is harmless — ignore it.
+				return
+			}
 			r.p.Fatalf("WRITE_IMM for unknown rendezvous id %d", cqe.Imm)
 		}
 		delete(ps.rndv, cqe.Imm)
@@ -277,6 +283,11 @@ func (r *Rank) handleHCAMessage(m hcaMsg) {
 		// receiver's registered buffer, then complete on the write CQE.
 		st := r.w.pair(r.rank, m.src).rndv[m.msgID]
 		if st == nil || st.mr == nil {
+			if st == nil && r.w.rankDead(m.src) {
+				// The receiver crashed after posting its CTS; our side of the
+				// rendezvous was already reaped. Drop the stale grant.
+				return
+			}
 			r.p.Fatalf("CTS for unknown rendezvous id %d", m.msgID)
 		}
 		qp := r.qpFor(m.src)

@@ -263,6 +263,10 @@ func (r *Rank) pushSends(dst int) bool {
 			op.queued = false
 			if op.state == opDone {
 				r.releaseOp(op)
+			} else {
+				// Track the FIN-awaiting op so reapPeer can fail it if the
+				// receiver dies before the FIN arrives.
+				r.addFinWait(op)
 			}
 			continue
 		}
@@ -387,6 +391,9 @@ func (r *Rank) handleShmPacket(ring *shmRing, pkt *shmPacket) {
 		// opAwaitFIN that the receiver degraded to SHM streaming), so
 		// re-list it before pushing.
 		op := pkt.sop
+		if op.state == opAwaitFIN {
+			r.removeFinWait(op)
+		}
 		op.state = opStream
 		r.enqueueOp(op)
 		r.pushSends(op.dst)
@@ -396,6 +403,7 @@ func (r *Rank) handleShmPacket(ring *shmRing, pkt *shmPacket) {
 		// The op left the send queue at opAwaitFIN keeping its sender
 		// reference; drop it here.
 		op := pkt.sop
+		r.removeFinWait(op)
 		op.state = opDone
 		r.completeSend(op.req)
 		r.releaseOp(op)

@@ -230,6 +230,13 @@ func (r *Rank) isendCtx(dst, tag, ctx int, data []byte) *Request {
 		r.selfSend(req)
 		return req
 	}
+	if r.w.Opts.ErrHandler == ErrorsRecover && r.w.rankDead(dst) {
+		// ULFM fast path: the destination crashed, so the send can never be
+		// received (real messages may race the failure notice; the simulation
+		// observes crashes at their virtual instant).
+		r.failRequest(req, &ProcFailedError{Peer: dst, At: r.p.Now()})
+		return req
+	}
 	if r.deadPeers[dst] {
 		// The HCA channel to dst already broke under ErrorsReturn: fail fast
 		// instead of posting into a flushed connection.
@@ -270,6 +277,10 @@ func (r *Rank) irecvCtx(src, tag, ctx int, buf []byte) *Request {
 	req.r, req.peer, req.tag, req.ctx, req.rbuf = r, src, tag, ctx, buf
 	if env := r.matchUnexpected(src, tag, ctx); env != nil {
 		r.bindEnvelope(env, req)
+	} else if src != AnySource && r.w.Opts.ErrHandler == ErrorsRecover && r.w.rankDead(src) {
+		// Already-delivered messages (unexpected queue) matched above; nothing
+		// more can ever arrive from a crashed source.
+		r.failRequest(req, &ProcFailedError{Peer: src, At: r.p.Now()})
 	} else if src != AnySource && r.deadPeers[src] {
 		// Nothing more can ever arrive from a dead peer.
 		r.failRequest(req, &ChannelError{Peer: src, Status: ib.WCFlushed})

@@ -60,6 +60,11 @@ type Rank struct {
 	crashAt   sim.Time     // scheduled death (valid when hasCrash)
 	deadPeers map[int]bool // peers behind a broken HCA channel
 
+	// recovery state (ErrorsRecover)
+	crashSeen uint64            // last World.crashGen this rank reaped
+	reaped    []bool            // peers whose death this rank already processed
+	finWait   map[int][]*sendOp // rendezvous sends awaiting FIN, per destination
+
 	prof *profile.RankProfile
 }
 
@@ -84,6 +89,8 @@ func newRank(w *World, i int) *Rank {
 		wridOps:   make(map[uint64]*wridRef),
 		streams:   make(map[streamKey]*envelope),
 		qpPeer:    make(map[*ib.QP]int),
+		reaped:    make([]bool, w.Deploy.Size()),
+		finWait:   make(map[int][]*sendOp),
 	}
 	if w.Prof != nil {
 		r.prof = w.Prof.Ranks[i]
@@ -459,10 +466,15 @@ func (r *Rank) progress() bool {
 
 // waitUntil drives progress until cond holds, parking when idle. Every
 // external state change that could satisfy cond wakes the rank — including
-// the wake scheduled for the rank's own planned crash.
+// the wake scheduled for the rank's own planned crash, and (under
+// ErrorsRecover) the broadcast wake markCrashed sends when a peer dies.
 func (r *Rank) waitUntil(cond func() bool) {
 	for {
 		r.faultCheck()
+		if r.w.crashGen != r.crashSeen {
+			r.crashSeen = r.w.crashGen
+			r.failDeadOps()
+		}
 		if cond() {
 			return
 		}
@@ -473,5 +485,173 @@ func (r *Rank) waitUntil(cond func() bool) {
 			return
 		}
 		r.p.Park()
+	}
+}
+
+// failDeadOps reaps every operation bound to a peer whose crash this rank has
+// not yet processed: posted receives naming the peer (or wildcard receives,
+// conservatively — see reapPeer), queued and FIN-awaiting sends toward it, and
+// the pair's in-flight rendezvous transfers. Each completes with a
+// *ProcFailedError so the application observes the failure ULFM-style.
+func (r *Rank) failDeadOps() {
+	for d := 0; d < r.size; d++ {
+		if d != r.rank && r.w.crashed[d] && !r.reaped[d] {
+			r.reaped[d] = true
+			r.reapPeer(d)
+		}
+	}
+}
+
+// reapPeer fails this rank's operations bound to the newly dead rank d.
+// Wildcard (AnySource) receives are failed too: the dead rank could have been
+// their match, so letting them linger risks waiting forever on a message that
+// died with its sender. This is the conservative ULFM reading — MPI_ANY_SOURCE
+// receives raise MPI_ERR_PROC_FAILED_PENDING when any potential sender fails.
+func (r *Rank) reapPeer(d int) {
+	pe := &ProcFailedError{Peer: d, At: r.p.Now()}
+
+	// Posted receives naming d, or wildcards. failRequest withdraws each from
+	// the posted list, so collect victims first.
+	var victims []*Request
+	for _, req := range r.posted {
+		if req.peer == d || req.peer == AnySource {
+			victims = append(victims, req)
+		}
+	}
+	for _, req := range victims {
+		r.failRequest(req, pe)
+	}
+
+	// Receives already matched and mid-stream from d (no longer in posted),
+	// plus partially arrived unexpected messages: their remaining fragments
+	// died with the sender. Collect seqs and sort for deterministic order.
+	var seqs []uint64
+	for key := range r.streams {
+		if key.src == d {
+			seqs = append(seqs, key.seq)
+		}
+	}
+	sortUint64s(seqs)
+	for _, seq := range seqs {
+		key := streamKey{src: d, seq: seq}
+		env := r.streams[key]
+		delete(r.streams, key)
+		if env.req != nil {
+			r.failRequest(env.req, pe)
+		}
+		// The envelope (and any sendOp reference it holds) is leaked to the
+		// GC, like every failed-request envelope: error paths are cold.
+	}
+
+	// Unexpected envelopes from d that never finished arriving (rendezvous
+	// RTS, partial eagers) can never be received; complete ones stay
+	// deliverable — the message was fully in our memory before the crash.
+	kept := r.unexpected[:0]
+	for _, env := range r.unexpected {
+		if env.src == d && !env.complete {
+			continue
+		}
+		kept = append(kept, env)
+	}
+	for i := len(kept); i < len(r.unexpected); i++ {
+		r.unexpected[i] = nil
+	}
+	r.unexpected = kept
+
+	// Queued sends toward d that never reached a channel.
+	for _, op := range r.sendQ[d] {
+		r.failRequest(op.req, pe)
+		op.queued = false
+		r.releaseOp(op)
+	}
+	delete(r.sendQ, d)
+
+	// Rendezvous sends whose payload is delivered but whose FIN will never
+	// arrive.
+	for _, op := range r.finWait[d] {
+		r.failRequest(op.req, pe)
+		r.releaseOp(op)
+	}
+	delete(r.finWait, d)
+
+	// In-flight HCA rendezvous transfers on the pair: fail this side's
+	// requests. Collect and sort ids for deterministic failure order.
+	ps := r.w.pair(r.rank, d)
+	if len(ps.rndv) > 0 {
+		var ids []uint64
+		for id, st := range ps.rndv {
+			if (st.sreq != nil && st.sreq.r == r) || (st.rreq != nil && st.rreq.r == r) {
+				ids = append(ids, id)
+			}
+		}
+		sortUint64s(ids)
+		for _, id := range ids {
+			st := ps.rndv[id]
+			if st.sreq != nil && st.sreq.r == r {
+				r.failRequest(st.sreq, pe)
+			}
+			if st.rreq != nil && st.rreq.r == r {
+				r.failRequest(st.rreq, pe)
+			}
+			delete(ps.rndv, id)
+		}
+	}
+}
+
+// addFinWait registers a rendezvous send that left the queue but still awaits
+// its FIN, so reapPeer can fail it if the receiver dies first.
+func (r *Rank) addFinWait(op *sendOp) {
+	r.finWait[op.dst] = append(r.finWait[op.dst], op)
+}
+
+// removeFinWait drops a send from the FIN-wait list (its FIN or CTS arrived).
+func (r *Rank) removeFinWait(op *sendOp) {
+	q := r.finWait[op.dst]
+	for i, o := range q {
+		if o == op {
+			r.finWait[op.dst] = append(q[:i], q[i+1:]...)
+			return
+		}
+	}
+}
+
+// Failed reports whether any rank in the job has crashed (ULFM
+// MPI_Comm_failure_ack/get_acked condensed to a world-level query; meaningful
+// under ErrorsRecover).
+func (r *Rank) Failed() bool { return r.w.anyCrashed() }
+
+// DeadRanks lists the crashed ranks in ascending order.
+func (r *Rank) DeadRanks() []int { return r.w.deadRanksSorted() }
+
+// Restored reports whether this world resumed from a checkpoint, and if so
+// returns the rank's snapshot blob (the bytes it passed to Checkpoint) and
+// the epoch it came from. Call it at body start to skip completed work.
+func (r *Rank) Restored() ([]byte, int, bool) {
+	snap := r.w.restored
+	if snap == nil {
+		return nil, 0, false
+	}
+	old := r.rank
+	if r.w.restoredMap != nil {
+		old = r.w.restoredMap[r.rank]
+	}
+	return append([]byte(nil), snap.Blobs[old]...), snap.Epoch, true
+}
+
+// PrevRank returns the rank this process held in the world the latest
+// snapshot was taken in (identity unless a shrink renumbered survivors).
+func (r *Rank) PrevRank() int {
+	if r.w.restoredMap == nil {
+		return r.rank
+	}
+	return r.w.restoredMap[r.rank]
+}
+
+// sortUint64s sorts ascending (tiny n; avoids a sort.Slice closure per call).
+func sortUint64s(a []uint64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
 	}
 }

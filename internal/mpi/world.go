@@ -10,6 +10,7 @@ import (
 	"cmpi/internal/fault"
 	"cmpi/internal/ib"
 	"cmpi/internal/profile"
+	rec "cmpi/internal/recover"
 	"cmpi/internal/shmem"
 	"cmpi/internal/sim"
 )
@@ -35,8 +36,28 @@ type World struct {
 	// inj is the job's fault injector (nil without a FaultPlan). All query
 	// methods tolerate nil.
 	inj *fault.Injector
-	// rankErrs records each rank's failure (as *RankError) for aggregation.
+	// rankErrs records each rank's failure (as *RankError) for aggregation,
+	// indexed by rank.
 	rankErrs []error
+
+	// Recovery state (ErrorsRecover / RunRecoverable). crashed marks ranks
+	// that died; crashGen increments on every new death so survivors can reap
+	// lazily (Rank.failDeadOps). All of it is touched only in engine context:
+	// fault worlds always run the sequential dispatch loop.
+	crashed  []bool
+	crashGen uint64
+	// ck is the coordinated-checkpoint barrier state (ckpt.go).
+	ck ckptState
+	// store receives committed checkpoints; lazily created by the first
+	// Checkpoint, or pre-installed by RunRecoverable so it outlives the world.
+	store *rec.Store
+	// restored, when set before Run, is the snapshot this world resumes from;
+	// restoredMap[newRank] is the snapshot rank whose state newRank inherits
+	// (nil means identity). Installed by RunRecoverable.
+	restored    *rec.Snapshot
+	restoredMap []int
+	// shrinks tracks in-progress Comm.Shrink agreements by parent context id.
+	shrinks map[int]*shrinkSync
 
 	// out-of-band PMI barrier state
 	pmiGen     int
@@ -94,6 +115,8 @@ func NewWorld(d *cluster.Deployment, opts Options) (*World, error) {
 		bodyStart:  make([]sim.Time, d.Size()),
 		bodyEnd:    make([]sim.Time, d.Size()),
 		rankErrs:   make([]error, d.Size()),
+		crashed:    make([]bool, d.Size()),
+		shrinks:    make(map[int]*shrinkSync),
 	}
 	n := d.Size()
 	w.pairTab = make([]pairShared, n*(n-1)/2)
@@ -163,8 +186,10 @@ func (w *World) Run(body func(r *Rank) error) error {
 				r.hasCrash, r.crashAt = true, at
 				// The victim may be parked at its death time; schedule a wake
 				// so the crash fires at the planned instant, not whenever the
-				// rank happens to run next.
-				w.Eng.At(at, func() { p.UnparkAt(at) })
+				// rank happens to run next. A background alarm: a death
+				// pending far in the future must not block the quiescence
+				// cut a checkpoint barrier commits at.
+				w.Eng.AtBackground(at, func() { p.UnparkAt(at) })
 			}
 			if err := r.init(); err != nil {
 				// Init failures are always fatal: the job never formed, so
@@ -177,6 +202,9 @@ func (w *World) Run(body func(r *Rank) error) error {
 			// discovery); only past this barrier does the rank's footprint
 			// narrow from Global to its claimed pairs.
 			r.parallelReady = true
+			if w.restored != nil {
+				w.restoreRank(r)
+			}
 			w.bodyStart[r.rank] = p.Now()
 			err := w.runBody(r, body)
 			w.bodyEnd[r.rank] = p.Now()
@@ -199,6 +227,9 @@ func (w *World) Run(body func(r *Rank) error) error {
 		w.Prof.Sim = w.SimStats()
 	}
 	var errs []error
+	// rankErrs is indexed by rank, so iterating it in order makes the joined
+	// error rank-sorted regardless of the virtual-time order the failures were
+	// recorded in — the aggregate is identical at every dispatch width.
 	for _, re := range w.rankErrs {
 		if re != nil {
 			errs = append(errs, re)
@@ -244,7 +275,9 @@ func (w *World) runBody(r *Rank, body func(r *Rank) error) (err error) {
 // failRank records a rank failure. Under ErrorsAreFatal it aborts the whole
 // simulation with the typed error (first failure wins, as in MPI_Abort);
 // under ErrorsReturn the rank simply stops and peers either complete, observe
-// failed requests, or surface in the engine's deadlock report.
+// failed requests, or surface in the engine's deadlock report. Under
+// ErrorsRecover a *CrashError additionally marks the rank dead so survivors
+// observe the failure (markCrashed); other errors behave as ErrorsReturn.
 func (w *World) failRank(r *Rank, cause error) {
 	re := &RankError{Rank: r.rank, At: r.p.Now(), Err: cause}
 	if w.rankErrs[r.rank] == nil {
@@ -252,7 +285,63 @@ func (w *World) failRank(r *Rank, cause error) {
 	}
 	if w.Opts.ErrHandler == ErrorsAreFatal {
 		r.p.Fail(re)
+		return
 	}
+	if w.Opts.ErrHandler == ErrorsRecover {
+		var ce *CrashError
+		if errors.As(cause, &ce) {
+			w.markCrashed(r)
+		}
+	}
+}
+
+// markCrashed flags a dead rank and propagates the observation: every live
+// rank is woken so its next waitUntil iteration reaps operations bound to the
+// casualty, any in-progress Comm.Shrink agreements re-evaluate their member
+// sets, and an in-flight checkpoint barrier aborts. Runs in engine context
+// (fault worlds are always sequential), so plain field writes are safe.
+func (w *World) markCrashed(r *Rank) {
+	if w.crashed[r.rank] {
+		return
+	}
+	w.crashed[r.rank] = true
+	w.crashGen++
+	now := r.p.Now()
+	for _, other := range w.ranks {
+		if other != r && !w.crashed[other.rank] {
+			other.p.UnparkAt(now)
+		}
+	}
+	w.checkShrinks(now)
+	w.abortCkpt(now)
+}
+
+// rankDead reports whether a rank has crashed.
+func (w *World) rankDead(i int) bool { return w.crashed[i] }
+
+// anyCrashed reports whether any rank has died.
+func (w *World) anyCrashed() bool { return w.crashGen != 0 }
+
+// liveCount counts surviving ranks.
+func (w *World) liveCount() int {
+	n := 0
+	for _, dead := range w.crashed {
+		if !dead {
+			n++
+		}
+	}
+	return n
+}
+
+// deadRanksSorted lists crashed ranks in ascending order.
+func (w *World) deadRanksSorted() []int {
+	var dead []int
+	for i, d := range w.crashed {
+		if d {
+			dead = append(dead, i)
+		}
+	}
+	return dead
 }
 
 // SimStats snapshots the job's scheduler and pool statistics (host-time

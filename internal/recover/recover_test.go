@@ -1,0 +1,105 @@
+package recover
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cmpi/internal/sim"
+)
+
+func sampleSnapshot() *Snapshot {
+	s := &Snapshot{
+		Version: SnapshotVersion,
+		Epoch:   3,
+		At:      sim.Time(123456789),
+		Ranks:   4,
+		Blobs:   [][]byte{{1, 2, 3}, nil, {0xff}, {}},
+		Mail:    make([][]Message, 4),
+		SendSeq: make([][]uint64, 4),
+	}
+	for i := range s.SendSeq {
+		s.SendSeq[i] = make([]uint64, 4)
+	}
+	s.SendSeq[0][1] = 7
+	s.SendSeq[3][2] = 1
+	s.Mail[1] = []Message{
+		{Src: 0, Tag: 9, Ctx: 1, Bytes: 2, Seq: 5, Data: []byte{0xaa, 0xbb}},
+		{Src: 2, Tag: 0, Ctx: 0x8001, Bytes: 0, Seq: 1, Data: nil},
+	}
+	return s
+}
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	s := sampleSnapshot()
+	enc := s.Encode()
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Encode(), enc) {
+		t.Fatalf("round trip changed the artifact:\n%s\nvs\n%s", enc, got.Encode())
+	}
+	if got.Epoch != 3 || got.At != s.At || got.Ranks != 4 {
+		t.Fatalf("header fields lost: %+v", got)
+	}
+	if got.SendSeq[0][1] != 7 || got.SendSeq[3][2] != 1 || got.SendSeq[1][0] != 0 {
+		t.Fatalf("seq matrix lost: %v", got.SendSeq)
+	}
+	if len(got.Mail[1]) != 2 || got.Mail[1][0].Seq != 5 || !bytes.Equal(got.Mail[1][0].Data, []byte{0xaa, 0xbb}) {
+		t.Fatalf("mail lost: %+v", got.Mail[1])
+	}
+	if got.Mail[1][1].Ctx != 0x8001 || got.Mail[1][1].Bytes != 0 {
+		t.Fatalf("empty-payload mail lost: %+v", got.Mail[1][1])
+	}
+}
+
+func TestSnapshotEncodeDeterministic(t *testing.T) {
+	a := sampleSnapshot().Encode()
+	b := sampleSnapshot().Encode()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical snapshots encoded differently")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"cmpi-ckpt v2 epoch=1 at=0 ranks=1\n",
+		"cmpi-ckpt v1 epoch=1 at=0 ranks=2\nblob 5 aa\n",
+		"cmpi-ckpt v1 epoch=1 at=0 ranks=2\nseq 0 9 3\n",
+		"cmpi-ckpt v1 epoch=1 at=0 ranks=2\nmail 0 1 0 1 3 1 aa\n", // bytes=3, payload 1
+		"cmpi-ckpt v1 epoch=1 at=0 ranks=2\nbogus 1 2 3\n",
+	}
+	for _, c := range cases {
+		if _, err := Decode([]byte(c)); err == nil {
+			t.Errorf("Decode accepted %q", strings.SplitN(c, "\n", 2)[0])
+		}
+	}
+}
+
+func TestStoreCommitIsolatesBuffers(t *testing.T) {
+	st := NewStore()
+	s := sampleSnapshot()
+	s.Epoch = 0 // let the store assign it
+	st.Commit(s)
+	s.Blobs[0][0] = 99
+	s.Mail[1][0].Data[0] = 99
+	latest := st.Latest()
+	if latest.Blobs[0][0] != 1 || latest.Mail[1][0].Data[0] != 0xaa {
+		t.Fatal("committed snapshot aliases the caller's buffers")
+	}
+	if latest.Epoch != 1 {
+		t.Fatalf("Epoch = %d, want 1 (store-assigned)", latest.Epoch)
+	}
+	st.Commit(sampleSnapshot())
+	if st.Len() != 2 || st.Latest().Epoch != 3 {
+		t.Fatalf("Len=%d latest epoch=%d, want 2 and 3", st.Len(), st.Latest().Epoch)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyRespawn.String() != "respawn" || PolicyShrink.String() != "shrink" {
+		t.Fatal("policy names changed")
+	}
+}

@@ -55,6 +55,12 @@ type Engine struct {
 	// order — (t, group index, group-local seq), flushed at each epoch
 	// barrier — under epoch dispatch. Identical for any worker count.
 	emit func(payload any)
+
+	// quiesce holds one-shot callbacks to run the next time the event queue
+	// drains completely (AtQuiesce). Fired FIFO, one per drain, in scheduler
+	// context; a callback that schedules new events resumes normal dispatch
+	// before the next quiesce callback fires.
+	quiesce []func()
 }
 
 // Stats counts scheduler activity, for capacity planning and engine
@@ -156,6 +162,29 @@ func (e *Engine) EmitAt(t Time, res Res, payload any) {
 	e.emit(payload)
 }
 
+// AtQuiesce schedules fn to run in scheduler context the next time the event
+// queue drains completely — i.e. when every process is parked or done and no
+// callback is pending, background alarms (AtBackground) excepted. This is
+// the engine's quiescence point: no message can be in flight, because
+// anything in flight would still have a delivery event
+// queued. Callbacks fire one per drain in FIFO order; a callback that wakes
+// processes resumes normal dispatch before the next one fires. A drain with
+// quiesce callbacks pending is not a deadlock — the run ends only when both
+// the queue and the quiesce list are empty.
+func (e *Engine) AtQuiesce(fn func()) { e.quiesce = append(e.quiesce, fn) }
+
+// popQuiesce fires the oldest pending quiesce callback, reporting whether one
+// ran. Called by both dispatch loops when the queue drains.
+func (e *Engine) popQuiesce() bool {
+	if len(e.quiesce) == 0 {
+		return false
+	}
+	fn := e.quiesce[0]
+	e.quiesce = e.quiesce[1:]
+	fn()
+	return true
+}
+
 // Now reports the engine's current virtual time: the time of the most
 // recently dispatched event (sequential loop) or the current epoch's floor —
 // the earliest event time in the epoch (epoch dispatch).
@@ -171,6 +200,16 @@ func (e *Engine) Procs() []*Proc { return e.procs }
 // the global group.
 func (e *Engine) At(t Time, fn func()) {
 	e.schedule(event{t: t, fn: fn})
+}
+
+// AtBackground is At for pre-scheduled alarms — a fault injector's crash
+// wake, a watchdog — that are not part of the simulated message flow. A
+// pending background event does not count against quiescence: AtQuiesce
+// callbacks fire once everything EXCEPT background alarms has drained, so a
+// crash scheduled minutes ahead cannot hold a checkpoint cut hostage. The
+// alarm still fires normally (in time order) when nothing overtakes it.
+func (e *Engine) AtBackground(t Time, fn func()) {
+	e.schedule(event{t: t, fn: fn, background: true})
 }
 
 // AtRes is At for callbacks that touch only the given resources, letting
@@ -315,7 +354,13 @@ func (e *Engine) Run() error {
 // footprint: one event at a time, globally ordered. Identical behavior and
 // overhead to the engine before parallel dispatch existed.
 func (e *Engine) runSequential() {
-	for !e.stopped.Load() && e.pq.len() > 0 {
+	for !e.stopped.Load() {
+		if e.pq.len() == e.pq.bg && e.popQuiesce() {
+			continue // quiescent: only background alarms (if any) remain
+		}
+		if e.pq.len() == 0 {
+			return
+		}
 		ev := e.pq.pop()
 		e.now = ev.t
 		e.stats.Dispatched++

@@ -261,7 +261,13 @@ var globalResList = []Res{Global}
 // runEpochs is the parallel dispatch loop (used when any footprint or tagged
 // callback exists; otherwise Run uses the legacy sequential loop).
 func (e *Engine) runEpochs() {
-	for !e.stopped.Load() && e.pq.len() > 0 {
+	for !e.stopped.Load() {
+		if e.pq.len() == e.pq.bg && e.popQuiesce() {
+			continue // quiescent: only background alarms (if any) remain
+		}
+		if e.pq.len() == 0 {
+			return
+		}
 		ep := e.formEpoch()
 		e.epoch = ep
 		width := len(ep.groups)

@@ -13,6 +13,11 @@ type event struct {
 	arg   any
 	proc  *Proc
 	timer bool // true for Sleep/Advance/start wakes, false for Unpark wakes
+	// background marks a pre-scheduled alarm (AtBackground) that does not
+	// count against quiescence: a fault injector's crash wake parked far in
+	// the future is not an in-flight message, so it must not hold back an
+	// AtQuiesce callback.
+	background bool
 
 	// res lists the resources a callback event touches, for epoch grouping
 	// (AtRes/AtArg). nres is the live prefix of res; untagged events
@@ -49,6 +54,9 @@ type eventHeap struct {
 	// maxDepth is the high-water mark of pending events, for capacity
 	// planning (Stats.MaxHeapDepth).
 	maxDepth int
+	// bg counts pending background events, so the dispatch loops can tell
+	// "only far-future alarms remain" (len() == bg) from real pending work.
+	bg int
 }
 
 func (h *eventHeap) len() int { return len(h.ev) }
@@ -62,6 +70,9 @@ func (h *eventHeap) less(i, j int) bool {
 }
 
 func (h *eventHeap) push(e event) {
+	if e.background {
+		h.bg++
+	}
 	h.ev = append(h.ev, e)
 	if len(h.ev) > h.maxDepth {
 		h.maxDepth = len(h.ev)
@@ -79,6 +90,9 @@ func (h *eventHeap) push(e event) {
 
 func (h *eventHeap) pop() event {
 	top := h.ev[0]
+	if top.background {
+		h.bg--
+	}
 	last := len(h.ev) - 1
 	h.ev[0] = h.ev[last]
 	h.ev[last] = event{} // release references held by the vacated slot

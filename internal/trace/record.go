@@ -59,6 +59,9 @@ const (
 	// OpAttachFail reports a vetoed shared-memory segment attach: Peer is
 	// the host index.
 	OpAttachFail
+	// OpCkpt marks one rank's participation in a committed coordinated
+	// checkpoint: Bytes is the rank's snapshot blob size, Aux the epoch.
+	OpCkpt
 )
 
 var opNames = [...]string{
@@ -74,6 +77,7 @@ var opNames = [...]string{
 	OpRetransmit:  "retransmit",
 	OpQPBreak:     "qp-break",
 	OpAttachFail:  "attach-fail",
+	OpCkpt:        "ckpt",
 }
 
 // String names the op as encoded on the wire.
