@@ -10,6 +10,7 @@
 //	repro -j 4          # pin the sweep worker pool (default: GOMAXPROCS)
 //	repro -sim-j 4      # pin the in-world epoch dispatch width (default: 1)
 //	repro -bench-out BENCH_repro.json  # host-time benchmark snapshot
+//	repro -bench-smoke                 # dispatch-width regression gate
 //	repro -trace-out golden.trace      # record the canonical trace job
 //	repro -replay golden.trace         # reconstruct counters from a trace
 //	repro -trace-diff A.trace B.trace  # first divergent record, if any
@@ -20,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -28,6 +30,7 @@ import (
 	"cmpi/internal/cluster"
 	"cmpi/internal/experiments"
 	"cmpi/internal/mpi"
+	"cmpi/internal/profile"
 	"cmpi/internal/trace"
 )
 
@@ -39,6 +42,7 @@ func main() {
 	workers := flag.Int("j", 0, "experiment sweep workers; 0 = CMPI_SWEEP_WORKERS env or GOMAXPROCS (tables are byte-identical for any value)")
 	simWorkers := flag.Int("sim-j", 0, "epoch dispatch width inside each simulated world; 0 = CMPI_SIM_WORKERS env or 1 (results are byte-identical for any value)")
 	benchOut := flag.String("bench-out", "", "write a host-time benchmark snapshot (JSON) to this file and exit")
+	benchSmoke := flag.Bool("bench-smoke", false, "quick dispatch-width regression gate: fail unless the 64-rank allreduce at widths 2/4/8/N keeps up with width 1 (10% tolerance)")
 	traceOut := flag.String("trace-out", "", "record the canonical trace job to this file and exit")
 	replay := flag.String("replay", "", "replay a recorded trace: reconstruct and print its counters, then exit")
 	traceDiff := flag.Bool("trace-diff", false, "compare the two trace files given as arguments; exit 1 on divergence")
@@ -61,6 +65,13 @@ func main() {
 	if *benchOut != "" {
 		if err := writeBenchSnapshot(*benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-out: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchSmoke {
+		if err := benchSmokeCheck(); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-smoke: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -207,18 +218,31 @@ type benchSnapshot struct {
 	PingPongNsMsg  float64 `json:"shm_pingpong_ns_per_msg"`
 	PingPongAllocs float64 `json:"shm_pingpong_allocs_per_msg"`
 
-	// 64-rank allreduce job at epoch dispatch width 1 vs N: the in-world
-	// parallel dispatch datapoint. A world collective couples every rank, so
-	// epochs collapse to one group and the two times should match — this row
-	// is the dispatch-overhead guard, not a speedup claim. Width comes from
-	// the pairwise row below, where independence actually exists.
-	SimWorkers            int     `json:"sim_workers"`
-	Allreduce64Width1     float64 `json:"allreduce64_width1_sec"`
-	Allreduce64WidthN     float64 `json:"allreduce64_widthN_sec"`
+	// 64-rank allreduce job at epoch dispatch widths 1/2/4/8/N: the in-world
+	// parallel dispatch datapoints. A world collective couples every rank, so
+	// epochs converge toward few groups and each width must at least keep up
+	// with width 1 — these rows are the dispatch-overhead guard (the bench
+	// smoke gate asserts every speedup ≥ 1 within tolerance). Real width
+	// comes from the pairwise row below, where independence actually exists.
+	SimWorkers         int     `json:"sim_workers"`
+	Allreduce64Width1  float64 `json:"allreduce64_width1_sec"`
+	Allreduce64Width2  float64 `json:"allreduce64_width2_sec"`
+	Allreduce64Width4  float64 `json:"allreduce64_width4_sec"`
+	Allreduce64Width8  float64 `json:"allreduce64_width8_sec"`
+	Allreduce64WidthN  float64 `json:"allreduce64_widthN_sec"`
+	Allreduce64Speedup float64 `json:"allreduce64_widthN_speedup"`
+	// Scheduler health counters from the width-N allreduce run: pairs shed
+	// by adaptive footprint decay, phase-change re-widens, and groups that
+	// queued behind the worker pool (see profile.SimStats).
+	Allreduce64Narrowed uint64 `json:"allreduce64_narrowed_pairs"`
+	Allreduce64Rewidens uint64 `json:"allreduce64_phase_rewidens"`
+	Allreduce64Stalls   uint64 `json:"allreduce64_barrier_stalls"`
+
 	PairwiseWidth1        float64 `json:"pairwise64_width1_sec"`
 	PairwiseWidthN        float64 `json:"pairwise64_widthN_sec"`
 	PairwiseSpeedup       float64 `json:"pairwise64_speedup"`
 	PairwiseMaxBatchWidth int     `json:"pairwise64_max_batch_width"`
+	PairwiseNarrowed      uint64  `json:"pairwise64_narrowed_pairs"`
 }
 
 // regenAll runs every experiment at Quick scale and returns the wall time.
@@ -288,11 +312,11 @@ func world64(simWorkers int) (*mpi.World, error) {
 }
 
 // measureAllreduce64 times iters 64-rank allreduces at the given dispatch
-// width and returns host seconds.
-func measureAllreduce64(simWorkers, iters int) (float64, error) {
+// width and returns host seconds plus the run's scheduler stats.
+func measureAllreduce64(simWorkers, iters int) (float64, profile.SimStats, error) {
 	w, err := world64(simWorkers)
 	if err != nil {
-		return 0, err
+		return 0, profile.SimStats{}, err
 	}
 	start := time.Now()
 	err = w.Run(func(r *mpi.Rank) error {
@@ -303,33 +327,71 @@ func measureAllreduce64(simWorkers, iters int) (float64, error) {
 		return nil
 	})
 	if err != nil {
-		return 0, err
+		return 0, profile.SimStats{}, err
 	}
-	return time.Since(start).Seconds(), nil
+	return time.Since(start).Seconds(), w.SimStats(), nil
+}
+
+// measureAllreduceWidths times the 64-rank allreduce at each width and
+// returns min-of-rounds host seconds per width plus each width's scheduler
+// stats. Two defenses against host noise, because the snapshot gates
+// width-vs-width ratios: the minimum over rounds measures the code rather
+// than background load, and rounds are interleaved across widths (1, 2, ...,
+// N, then again) so a slow host phase degrades every width equally instead
+// of whichever width it happened to land on. Simulated results and stats
+// are identical across rounds (determinism), so any round's stats are the
+// run's stats.
+func measureAllreduceWidths(widths []int, iters, rounds int) ([]float64, []profile.SimStats, error) {
+	best := make([]float64, len(widths))
+	stats := make([]profile.SimStats, len(widths))
+	for i := range best {
+		best[i] = math.MaxFloat64
+	}
+	for rep := 0; rep < rounds; rep++ {
+		for i, wk := range widths {
+			sec, st, err := measureAllreduce64(wk, iters)
+			if err != nil {
+				return nil, nil, err
+			}
+			if sec < best[i] {
+				best[i] = sec
+			}
+			stats[i] = st
+		}
+	}
+	return best, stats, nil
 }
 
 // measurePairwise64 times iters pairwise exchange rounds (rank <-> rank^1,
 // same container: 32 causally independent pairs) at the given dispatch width.
-// Returns host seconds and the max epoch width the engine observed.
-func measurePairwise64(simWorkers, iters int) (sec float64, width int, err error) {
-	w, err := world64(simWorkers)
-	if err != nil {
-		return 0, 0, err
-	}
-	start := time.Now()
-	err = w.Run(func(r *mpi.Rank) error {
-		partner := r.Rank() ^ 1
-		out := make([]byte, 4<<10)
-		in := make([]byte, 4<<10)
-		for i := 0; i < iters; i++ {
-			r.Sendrecv(partner, 0, out, partner, 0, in)
+// Returns host seconds and the run's scheduler stats (min-of-3; see
+// bestAllreduce64 for why).
+func measurePairwise64(simWorkers, iters int) (float64, profile.SimStats, error) {
+	best := math.MaxFloat64
+	var stats profile.SimStats
+	for rep := 0; rep < 3; rep++ {
+		w, err := world64(simWorkers)
+		if err != nil {
+			return 0, profile.SimStats{}, err
 		}
-		return nil
-	})
-	if err != nil {
-		return 0, 0, err
+		start := time.Now()
+		err = w.Run(func(r *mpi.Rank) error {
+			partner := r.Rank() ^ 1
+			out := make([]byte, 4<<10)
+			in := make([]byte, 4<<10)
+			for i := 0; i < iters; i++ {
+				r.Sendrecv(partner, 0, out, partner, 0, in)
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, profile.SimStats{}, err
+		}
+		if sec := time.Since(start).Seconds(); sec < best {
+			best, stats = sec, w.SimStats()
+		}
 	}
-	return time.Since(start).Seconds(), w.SimStats().MaxBatchWidth, nil
+	return best, stats, nil
 }
 
 func writeBenchSnapshot(path string) error {
@@ -368,19 +430,31 @@ func writeBenchSnapshot(path string) error {
 	if snap.SimWorkers < 4 {
 		snap.SimWorkers = 4
 	}
-	fmt.Fprintf(os.Stderr, "64-rank dispatch-width points (1 vs %d)...\n", snap.SimWorkers)
-	if snap.Allreduce64Width1, err = measureAllreduce64(1, 200); err != nil {
+	fmt.Fprintf(os.Stderr, "64-rank dispatch-width points (widths 1/2/4/8/%d)...\n", snap.SimWorkers)
+	arTimes, arStats, err := measureAllreduceWidths([]int{1, 2, 4, 8, snap.SimWorkers}, 200, 3)
+	if err != nil {
 		return err
 	}
-	if snap.Allreduce64WidthN, err = measureAllreduce64(snap.SimWorkers, 200); err != nil {
-		return err
+	snap.Allreduce64Width1 = arTimes[0]
+	snap.Allreduce64Width2 = arTimes[1]
+	snap.Allreduce64Width4 = arTimes[2]
+	snap.Allreduce64Width8 = arTimes[3]
+	snap.Allreduce64WidthN = arTimes[4]
+	if snap.Allreduce64WidthN > 0 {
+		snap.Allreduce64Speedup = snap.Allreduce64Width1 / snap.Allreduce64WidthN
 	}
+	snap.Allreduce64Narrowed = arStats[4].NarrowedPairs
+	snap.Allreduce64Rewidens = arStats[4].PhaseRewidens
+	snap.Allreduce64Stalls = arStats[4].BarrierStalls
+	var pwStats profile.SimStats
 	if snap.PairwiseWidth1, _, err = measurePairwise64(1, 2000); err != nil {
 		return err
 	}
-	if snap.PairwiseWidthN, snap.PairwiseMaxBatchWidth, err = measurePairwise64(snap.SimWorkers, 2000); err != nil {
+	if snap.PairwiseWidthN, pwStats, err = measurePairwise64(snap.SimWorkers, 2000); err != nil {
 		return err
 	}
+	snap.PairwiseMaxBatchWidth = pwStats.MaxBatchWidth
+	snap.PairwiseNarrowed = pwStats.NarrowedPairs
 	if snap.PairwiseWidthN > 0 {
 		snap.PairwiseSpeedup = snap.PairwiseWidth1 / snap.PairwiseWidthN
 	}
@@ -392,8 +466,39 @@ func writeBenchSnapshot(path string) error {
 	if err := os.WriteFile(path, out, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %.1fs -> %.1fs (%.2fx), pt2pt %.0f ns/msg, %.3f allocs/msg, pairwise64 %.2fx at width %d\n",
+	fmt.Printf("wrote %s: %.1fs -> %.1fs (%.2fx), pt2pt %.0f ns/msg, %.3f allocs/msg, allreduce64 %.2fx, pairwise64 %.2fx at width %d\n",
 		path, snap.SequentialSec, snap.ParallelSec, snap.Speedup, snap.PingPongNsMsg, snap.PingPongAllocs,
-		snap.PairwiseSpeedup, snap.PairwiseMaxBatchWidth)
+		snap.Allreduce64Speedup, snap.PairwiseSpeedup, snap.PairwiseMaxBatchWidth)
+	return nil
+}
+
+// benchSmokeCheck is the CI dispatch-width regression gate: a 64-rank
+// allreduce must not run slower at any epoch dispatch width than at width 1.
+// Before adaptive footprint decay the coupled collective collapsed into one
+// group and paid pure coordination overhead at width N; the gate keeps that
+// regression from coming back. Tolerance is 10% — host timing, even
+// min-of-3, jitters on shared CI runners.
+func benchSmokeCheck() error {
+	widthN := runtime.GOMAXPROCS(0)
+	if widthN < 4 {
+		widthN = 4
+	}
+	widths := []int{1, 2, 4, 8}
+	if widthN != 2 && widthN != 4 && widthN != 8 {
+		widths = append(widths, widthN)
+	}
+	times, _, err := measureAllreduceWidths(widths, 100, 3)
+	if err != nil {
+		return err
+	}
+	base := times[0]
+	fmt.Printf("allreduce64 width 1: %.3fs\n", base)
+	for i, wk := range widths[1:] {
+		sec := times[i+1]
+		fmt.Printf("allreduce64 width %d: %.3fs (%.2fx)\n", wk, sec, base/sec)
+		if sec > base*1.10 {
+			return fmt.Errorf("allreduce64 at width %d took %.3fs, >10%% slower than width 1 (%.3fs)", wk, sec, base)
+		}
+	}
 	return nil
 }

@@ -41,6 +41,29 @@ func TestGoldenTraceMatchesFixture(t *testing.T) {
 	}
 }
 
+// TestGoldenTraceStableAcrossDispatchWidths re-records the canonical job —
+// which runs with adaptive footprint decay pinned on (see GoldenTrace) — at
+// epoch dispatch widths 2, 4, and 8 and requires byte-identity with the
+// committed fixture. This is the decay determinism gate at the trace level:
+// decayed footprints change which events may dispatch concurrently, and none
+// of it may leak into the message schedule as the width varies.
+func TestGoldenTraceStableAcrossDispatchWidths(t *testing.T) {
+	fixture, err := os.ReadFile("testdata/golden.trace")
+	if err != nil {
+		t.Fatalf("fixture missing: %v", err)
+	}
+	for _, width := range []string{"2", "4", "8"} {
+		t.Setenv("CMPI_SIM_WORKERS", width)
+		var buf bytes.Buffer
+		if err := GoldenTrace(&buf); err != nil {
+			t.Fatalf("width %s: GoldenTrace: %v", width, err)
+		}
+		if !bytes.Equal(buf.Bytes(), fixture) {
+			t.Errorf("width %s: trace bytes diverge from the committed fixture", width)
+		}
+	}
+}
+
 // TestGoldenTraceReplays sanity-checks that the fixture replays cleanly:
 // every send matched, no counter anomalies, all three channels exercised.
 func TestGoldenTraceReplays(t *testing.T) {

@@ -390,7 +390,30 @@ type QP struct {
 	// broken marks the QP in the error state (retry exhaustion on either
 	// end). Work posted afterwards completes immediately with WCFlushed.
 	broken bool
+
+	// hw is the high-water mark of fabric activity this QP posted: the
+	// latest virtual time of any deferred event it scheduled (arrivals,
+	// transmit ends, acks) — which also bounds its port-bandwidth bookings,
+	// since every booking ends at or before the event that announces it.
+	// Written only while the owning epoch group runs the poster; read at
+	// epoch formation (scheduler context) via Watermark, so the layer above
+	// can prove a pair's shared port state is quiescent before a footprint
+	// drops it.
+	hw sim.Time
 }
+
+// bump advances the QP's activity high-water mark.
+func (q *QP) bump(t sim.Time) {
+	if t > q.hw {
+		q.hw = t
+	}
+}
+
+// Watermark reports the latest virtual time of any deferred fabric event
+// this QP scheduled. When both ends' watermarks are strictly before the
+// current epoch floor, every event the pair ever put on the fabric has been
+// dispatched and all its port-bandwidth bookings lie in the simulated past.
+func (q *QP) Watermark() sim.Time { return q.hw }
 
 // Peer returns the remote end of the RC pair (nil before Connect).
 func (q *QP) Peer() *QP { return q.peer }
@@ -568,6 +591,7 @@ func (f *Fabric) retrySchedule(host int, t0 sim.Time) (at sim.Time, retries int,
 func (f *Fabric) breakPair(at sim.Time, q *QP, wrid uint64, op Opcode, retries int) {
 	peer := q.peer
 	q.broken, peer.broken = true, true
+	q.bump(at)
 	if f.trace != nil {
 		f.trace(TraceEvent{T: at, Kind: TraceQPBreak, Host: q.dev.Env.Host.Index, Retries: retries})
 	}
@@ -583,6 +607,7 @@ func (f *Fabric) breakPair(at sim.Time, q *QP, wrid uint64, op Opcode, retries i
 func (q *QP) flush(p *sim.Proc, wrid uint64, op Opcode) {
 	p.Advance(q.dev.fabric.prm.IBPostOverhead)
 	t := p.Now()
+	q.bump(t)
 	sq := q.sendCQ
 	q.dev.fabric.eng.AtRes(t, func() {
 		sq.push(t, CQE{QP: q, WRID: wrid, Op: op, Status: WCFlushed})
@@ -645,6 +670,8 @@ func (q *QP) PostSend(p *sim.Proc, wrid uint64, payload []byte, imm uint64) {
 	snapshot := q.dev.pool.GetCopy(payload)
 	n := len(snapshot)
 	txEnd, arrival := f.transitTimes(q.dev.Env.Host.Index, q.peer.dev.Env.Host.Index, n+hdrBytes, t0)
+	q.bump(txEnd)
+	q.bump(arrival)
 	r := q.resAll()
 	ae := q.dev.getEvt()
 	ae.q, ae.t, ae.snapshot, ae.n, ae.imm = q, arrival, snapshot, n, imm
@@ -705,6 +732,7 @@ func (q *QP) PostWrite(p *sim.Proc, wrid uint64, src []byte, remote *MR, off int
 	}, r[0], r[1], r[2], r[3])
 	// Local completion after the ack returns (one extra wire hop).
 	ack := arrival + prm.IBWireLatency(loop)
+	q.bump(ack)
 	sq := q.sendCQ
 	f.eng.AtRes(ack, func() {
 		sq.push(ack, CQE{QP: q, WRID: wrid, Op: OpWrite, Bytes: n, Retries: retries})
@@ -735,6 +763,7 @@ func (q *QP) PostRead(p *sim.Proc, wrid uint64, dst []byte, remote *MR, off int)
 	src, dstHost := q.dev.Env.Host.Index, q.peer.dev.Env.Host.Index
 	// Request hop: header-only message to the remote HCA.
 	_, reqArrive := f.transitTimes(src, dstHost, hdrBytes, t0)
+	q.bump(reqArrive)
 	remoteBuf := remote.Buf
 	sq := q.sendCQ
 	qq := q
@@ -743,6 +772,7 @@ func (q *QP) PostRead(p *sim.Proc, wrid uint64, dst []byte, remote *MR, off int)
 		// Response hop: data flows remote -> local.
 		snapshot := qq.dev.pool.GetCopy(remoteBuf[off : off+len(dst)])
 		_, respArrive := f.transitTimes(dstHost, src, len(dst)+hdrBytes, reqArrive)
+		qq.bump(respArrive)
 		f.eng.AtRes(respArrive, func() {
 			copy(dst, snapshot)
 			qq.dev.pool.Put(snapshot)

@@ -13,6 +13,8 @@ package mpi
 import (
 	"fmt"
 	"io"
+	"os"
+	"strconv"
 
 	"cmpi/internal/core"
 	"cmpi/internal/fault"
@@ -60,6 +62,42 @@ type Options struct {
 	// ErrHandler selects the job's reaction to channel failures under fault
 	// injection. The zero value is ErrorsAreFatal, the MPI default.
 	ErrHandler ErrorHandler
+	// FootprintDecay controls how many epochs a released pair claim lingers
+	// in a rank's dispatch footprint before adaptive decay may drop it (see
+	// Rank.footprint). Zero — the default — reads CMPI_FOOTPRINT_DECAY from
+	// the environment, falling back to DefaultFootprintDecay; a positive
+	// value pins the window to that many epochs regardless of the
+	// environment; a negative value (like CMPI_FOOTPRINT_DECAY=0) forces the
+	// legacy sticky footprints, where a claimed pair never leaves the
+	// footprint. Decay affects only grouping — which events may dispatch
+	// concurrently — so any setting yields deterministic results at every
+	// dispatch width, but different settings may schedule messages at
+	// different virtual times.
+	FootprintDecay int
+}
+
+// DefaultFootprintDecay is the footprint decay window used when neither
+// Options.FootprintDecay nor CMPI_FOOTPRINT_DECAY picks one: a released pair
+// survives four epochs, long enough that the recurring pairs of a running
+// collective stay merged, short enough that a phase change re-widens within
+// a few formations even without a detected yield storm.
+const DefaultFootprintDecay = 4
+
+// resolveFootprintDecay maps the option (see Options.FootprintDecay) to the
+// effective window: 0 means sticky, n > 0 means drop after n epochs.
+func resolveFootprintDecay(opt int) int {
+	if opt < 0 {
+		return 0
+	}
+	if opt > 0 {
+		return opt
+	}
+	if s := os.Getenv("CMPI_FOOTPRINT_DECAY"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 0 {
+			return n
+		}
+	}
+	return DefaultFootprintDecay
 }
 
 // DefaultOptions is the paper's proposed configuration: locality-aware with

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"cmpi/internal/fault"
+	"cmpi/internal/profile"
 )
 
 // Determinism of the conservative epoch dispatch: the same job must produce
@@ -125,10 +126,11 @@ func TestEpochDispatchDeterministicResults(t *testing.T) {
 
 // pairwiseWorkload exchanges messages only between even/odd partners in the
 // same container (rank me <-> me^1): the communication graph is 8 disjoint
-// pairs, so epoch dispatch must find independent groups. Footprints are
-// sticky — once a rank claims a pair it stays coupled to that peer — so any
-// globally coupled phase (a ring, a collective) would honestly collapse the
-// world into one group; this workload has none.
+// pairs, so epoch dispatch must find independent groups. A claimed pair
+// stays in the footprint at least until it is quiescent past its decay
+// window (Rank.footprint), so a globally coupled phase (a ring, a
+// collective) would collapse the world into one group while it runs; this
+// workload has none.
 func pairwiseWorkload(r *Rank) error {
 	me := r.Rank()
 	partner := me ^ 1
@@ -213,4 +215,160 @@ func TestEpochDispatchManyWorldsUnderRace(t *testing.T) {
 			t.Fatalf("trial %d transcript differs", trial)
 		}
 	}
+}
+
+// phasedWorkload drives three communication phases with different coupling,
+// the adaptive-decay regression surface:
+//
+//   - a shifted ring (me -> me+1): every rank's claim chains into its
+//     neighbour's, so footprints converge to one world-wide group;
+//   - disjoint pairs (me <-> me^1): once the ring pairs decay, the world
+//     re-widens into 8 independent groups — impossible under sticky
+//     footprints, where the ring coupling is permanent;
+//   - shifted pairs (me <-> me^2): every claim crosses a phase-2 group
+//     boundary, so the transition is a regroup-yield storm that the
+//     phase-change detector must convert into eager re-widening.
+func phasedWorkload(r *Rank) error {
+	n := r.Size()
+	me := r.Rank()
+	small := make([]byte, 64)
+	in := make([]byte, 64)
+	exchange := func(peer, tag, iter int) error {
+		for i := range small {
+			small[i] = byte(me + i + iter)
+		}
+		r.Sendrecv(peer, tag, small, peer, tag, in)
+		if in[0] != byte(peer+iter) {
+			return fmt.Errorf("tag %d iter %d: got %d, want %d", tag, iter, in[0], byte(peer+iter))
+		}
+		return nil
+	}
+	for iter := 0; iter < 4; iter++ {
+		for i := range small {
+			small[i] = byte(me + i + iter)
+		}
+		prev := (me - 1 + n) % n
+		r.Sendrecv((me+1)%n, 1, small, prev, 1, in)
+		if in[0] != byte(prev+iter) {
+			return fmt.Errorf("ring iter %d: got %d, want %d", iter, in[0], byte(prev+iter))
+		}
+	}
+	for iter := 0; iter < 16; iter++ {
+		if err := exchange(me^1, 2, iter); err != nil {
+			return err
+		}
+	}
+	for iter := 0; iter < 8; iter++ {
+		if err := exchange(me^2, 3, iter); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runPhasedJob runs phasedWorkload at the given dispatch width and decay
+// setting and returns (application transcript, scheduler stats).
+func runPhasedJob(t *testing.T, workers, decay int) (string, profile.SimStats) {
+	t.Helper()
+	var tr strings.Builder
+	opts := DefaultOptions()
+	opts.Profile = true
+	opts.Trace = &tr
+	opts.FootprintDecay = decay
+	w := testWorld(t, "2host4cont", 16, opts)
+	w.Eng.SetWorkers(workers)
+	if err := w.Run(phasedWorkload); err != nil {
+		t.Fatalf("workers=%d decay=%d: %v", workers, decay, err)
+	}
+	var app strings.Builder
+	for _, rp := range w.Prof.Ranks {
+		fmt.Fprintf(&app, "rank%d mpi=%v app=%v ops=%v bytes=%v\n",
+			rp.Rank, rp.TotalMPI, rp.AppTime, rp.Channels.Ops, rp.Channels.Bytes)
+	}
+	fmt.Fprintf(&app, "trace:\n%s", tr.String())
+	return app.String(), w.SimStats()
+}
+
+// TestPhasedWorkloadDeterministicAcrossWidths pins the decay tentpole's
+// correctness contract: with decay enabled (and with legacy sticky
+// footprints) the phased job's application results, profiles, traces, and
+// scheduler counters are byte-identical at widths 1/2/4/8. BarrierStalls is
+// excluded — it is the one counter documented to depend on the width.
+func TestPhasedWorkloadDeterministicAcrossWidths(t *testing.T) {
+	for _, decay := range []int{DefaultFootprintDecay, -1} {
+		baseApp, baseStats := runPhasedJob(t, 1, decay)
+		baseStats.BarrierStalls = 0
+		for _, workers := range []int{2, 4, 8} {
+			app, stats := runPhasedJob(t, workers, decay)
+			if app != baseApp {
+				t.Errorf("decay=%d workers=%d: transcript differs from width 1:\n--- w1 ---\n%s--- w%d ---\n%s",
+					decay, workers, baseApp, workers, app)
+			}
+			stats.BarrierStalls = 0
+			if stats != baseStats {
+				t.Errorf("decay=%d workers=%d: scheduler stats differ from width 1:\n%+v\nvs\n%+v",
+					decay, workers, baseStats, stats)
+			}
+		}
+	}
+}
+
+// TestFootprintDecayRewidensAfterPhaseChange is the behavioral claim behind
+// the tentpole: under sticky footprints the ring phase couples the world
+// permanently, so the later pairwise phases never regain concurrency; with
+// decay the ring pairs quiesce out of the footprints and the pairwise phase
+// re-widens, and the me^1 -> me^2 transition trips the phase-change
+// detector.
+func TestFootprintDecayRewidensAfterPhaseChange(t *testing.T) {
+	_, sticky := runPhasedJob(t, 4, -1)
+	_, decayed := runPhasedJob(t, 4, DefaultFootprintDecay)
+	if sticky.NarrowedPairs != 0 {
+		t.Errorf("sticky run narrowed %d pairs; want 0", sticky.NarrowedPairs)
+	}
+	if decayed.NarrowedPairs == 0 {
+		t.Error("decay run narrowed no pairs; adaptive decay never engaged")
+	}
+	if decayed.MaxBatchWidth <= sticky.MaxBatchWidth {
+		t.Errorf("decay MaxBatchWidth = %d, sticky = %d; want decay to re-widen past sticky",
+			decayed.MaxBatchWidth, sticky.MaxBatchWidth)
+	}
+	if decayed.PhaseRewidens == 0 {
+		t.Error("decay run detected no phase change; want >= 1 for the me^1 -> me^2 transition")
+	}
+}
+
+// TestReleaseClaimStrictGuard checks the claim-accounting debug hook: a
+// release with no matching claim must panic under claimStrict instead of
+// driving the per-side count negative (which would pin the pair in both
+// footprints forever and silently serialize the job).
+func TestReleaseClaimStrictGuard(t *testing.T) {
+	claimStrict = true
+	t.Cleanup(func() { claimStrict = false })
+	err := testWorld(t, "2cont", 4, DefaultOptions()).Run(func(r *Rank) error {
+		if r.Rank() != 0 {
+			return nil
+		}
+		panicked := false
+		func() {
+			defer func() { panicked = recover() != nil }()
+			r.releaseClaim(&Request{hasClaim: true, claimPeer: 1})
+		}()
+		if !panicked {
+			return fmt.Errorf("release with no outstanding claim did not panic under claimStrict")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClaimAccountingBalanced runs the full mixed job with strict claim
+// accounting: any double release anywhere in the protocol stack panics the
+// world instead of passing silently.
+func TestClaimAccountingBalanced(t *testing.T) {
+	claimStrict = true
+	t.Cleanup(func() { claimStrict = false })
+	runDeterminismJob(t, 4, nil)
+	_, _ = runPhasedJob(t, 4, DefaultFootprintDecay)
 }

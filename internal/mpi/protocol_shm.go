@@ -95,6 +95,19 @@ func (s *shmRing) in(rank int) *ringDir {
 	return s.dirs[0]
 }
 
+// idle reports that both directions are fully drained — no undrained packet
+// and no sender stalled on the budget. Consulted by adaptive footprint decay
+// (Rank.pairIdle): a non-empty ring means one side still has bytes the other
+// must consume, so the pair cannot leave either footprint yet.
+func (s *shmRing) idle() bool {
+	for _, d := range s.dirs {
+		if d.head < len(d.q) || d.stalled {
+			return false
+		}
+	}
+	return true
+}
+
 // tryPush appends pkt if the budget allows. Control packets (footprint 0)
 // always fit. The receiver is woken at the packet's availability time.
 func (d *ringDir) tryPush(r *Rank, pkt *shmPacket) bool {

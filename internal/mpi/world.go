@@ -89,6 +89,9 @@ type World struct {
 	// claim protocol does not cover — communicator context ids, RMA window
 	// exchange. Every footprint collapses to Global at the next epoch.
 	serial atomic.Bool
+	// decay is the resolved footprint decay window in epochs (0 = legacy
+	// sticky footprints); see Options.FootprintDecay and Rank.footprint.
+	decay int
 }
 
 // jobCounter is atomic: worlds are built concurrently by the parallel
@@ -117,6 +120,7 @@ func NewWorld(d *cluster.Deployment, opts Options) (*World, error) {
 		rankErrs:   make([]error, d.Size()),
 		crashed:    make([]bool, d.Size()),
 		shrinks:    make(map[int]*shrinkSync),
+		decay:      resolveFootprintDecay(opts.FootprintDecay),
 	}
 	n := d.Size()
 	w.pairTab = make([]pairShared, n*(n-1)/2)
@@ -366,6 +370,9 @@ func (w *World) SimStats() profile.SimStats {
 		ParallelBatches: es.ParallelBatches,
 		MaxBatchWidth:   es.MaxBatchWidth,
 		BarrierStalls:   es.BarrierStalls,
+		RegroupYields:   es.RegroupYields,
+		NarrowedPairs:   es.NarrowedPairs,
+		PhaseRewidens:   es.PhaseRewidens,
 		BufPool:         core.PoolCounters{Gets: bc.Gets + fc.Gets, Hits: bc.Hits + fc.Hits},
 		ObjPool:         oc,
 	}
@@ -435,6 +442,11 @@ type pairShared struct {
 	// rank's state (indexed by side). While either count is non-zero both
 	// ranks' footprints keep the pair merged into one epoch group.
 	claims [2]int
+	// lastEpoch records, per side, the engine epoch of that side's most
+	// recent claim or release — the anchor adaptive footprint decay counts
+	// its window from (Rank.footprint). Per-side words, written only by the
+	// owning side during execution and read at formation.
+	lastEpoch [2]uint64
 	// hca records, per side, that the pair has used the HCA channel: the
 	// footprint then also spans both hosts' port resources (fabric events
 	// and device pools). Per-side bools so concurrent groups never write

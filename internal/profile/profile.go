@@ -89,6 +89,17 @@ type SimStats struct {
 	// BarrierStalls counts groups queued behind the worker pool — the one
 	// counter that depends on the configured worker count.
 	BarrierStalls uint64
+	// RegroupYields counts processes that yielded mid-epoch to widen their
+	// footprint (claiming a pair their group did not own yet).
+	RegroupYields uint64
+	// NarrowedPairs counts pairs dropped from rank footprints by adaptive
+	// decay (quiescent past their decay window) — each drop is a chance for
+	// the next epoch to split into more concurrent groups.
+	NarrowedPairs uint64
+	// PhaseRewidens counts epochs whose regroup-yield storm tripped the
+	// phase-change detector, retiring stale footprints eagerly so the new
+	// communication pattern re-widens without waiting out the decay window.
+	PhaseRewidens uint64
 	// BufPool aggregates the byte-buffer pools (runtime staging plus fabric
 	// wire snapshots).
 	BufPool core.PoolCounters

@@ -49,6 +49,16 @@ type Engine struct {
 	epochID       uint64
 	ufParent      map[Res]Res
 	epochDepthMax int
+	// phaseShift is raised at commit when an epoch's regroup yields crossed
+	// the storm threshold — a communication-pattern switch — and consumed by
+	// the next formation, where footprints may retire stale state eagerly
+	// (PhaseShift). Written and read only in scheduler context.
+	phaseShift bool
+	// pool is the persistent epoch worker pool (nil until the first epoch
+	// wider than one group); poolSize counts its live goroutines.
+	pool     chan *epochWork
+	poolSize int
+	poolWork *epochWork
 
 	// emit, when installed, receives observer payloads (trace records) in
 	// deterministic order: dispatch order under the sequential loop, commit
@@ -96,6 +106,18 @@ type Stats struct {
 	// diagnostic: it depends on the configured worker count (never on worker
 	// scheduling), unlike every other counter, which is width-independent.
 	BarrierStalls uint64
+	// RegroupYields counts processes that yielded out of an epoch because
+	// they claimed a resource their group did not own (Proc.YieldRegroup).
+	// A burst of them in one epoch signals a communication-pattern switch.
+	RegroupYields uint64
+	// NarrowedPairs counts footprint entries retired by decay: each time a
+	// footprint callback drops a quiescent resource claim it reports the drop
+	// via AddNarrowed. Grouping is width-independent, so this is too.
+	NarrowedPairs uint64
+	// PhaseRewidens counts epochs whose regroup-yield storm crossed the
+	// phase-change threshold, letting the next formation retire stale
+	// footprint state eagerly instead of waiting out the decay window.
+	PhaseRewidens uint64
 }
 
 // Stats returns a snapshot of scheduler counters.
@@ -189,6 +211,25 @@ func (e *Engine) popQuiesce() bool {
 // recently dispatched event (sequential loop) or the current epoch's floor —
 // the earliest event time in the epoch (epoch dispatch).
 func (e *Engine) Now() Time { return e.now }
+
+// EpochID reports the current epoch's id (zero before the first epoch forms,
+// always zero under sequential dispatch). Written only in scheduler context
+// at formation, so reads from group execution are race-free and see the same
+// value in every group — footprint-decay anchors built on it are therefore
+// width-independent.
+func (e *Engine) EpochID() uint64 { return e.epochID }
+
+// PhaseShift reports whether the previous epoch ended in a regroup-yield
+// storm — a communication-pattern switch. Footprint callbacks (which run in
+// scheduler context at formation) may consult it to retire still-quiescent
+// claims eagerly instead of waiting out a decay window; the flag is cleared
+// once the epoch that consumed it is formed.
+func (e *Engine) PhaseShift() bool { return e.phaseShift }
+
+// AddNarrowed records n footprint entries retired by decay (Stats
+// NarrowedPairs). For use by footprint callbacks, which run in scheduler
+// context at epoch formation.
+func (e *Engine) AddNarrowed(n int) { e.stats.NarrowedPairs += uint64(n) }
 
 // Procs returns the processes spawned so far, in spawn order.
 func (e *Engine) Procs() []*Proc { return e.procs }

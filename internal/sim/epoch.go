@@ -228,6 +228,9 @@ func (e *Engine) formEpoch() *epochState {
 	for r := range e.ufParent {
 		delete(e.ufParent, r)
 	}
+	// The phase-shift flag is good for exactly one formation: every footprint
+	// consulted above saw it and had its chance to retire stale claims.
+	e.phaseShift = false
 	return ep
 }
 
@@ -261,6 +264,7 @@ var globalResList = []Res{Global}
 // runEpochs is the parallel dispatch loop (used when any footprint or tagged
 // callback exists; otherwise Run uses the legacy sequential loop).
 func (e *Engine) runEpochs() {
+	defer e.stopPool()
 	for !e.stopped.Load() {
 		if e.pq.len() == e.pq.bg && e.popQuiesce() {
 			continue // quiescent: only background alarms (if any) remain
@@ -287,25 +291,74 @@ func (e *Engine) runEpochs() {
 				g.run()
 			}
 		} else {
-			var next atomic.Int64
-			var wg sync.WaitGroup
-			for w := 0; w < workers; w++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for {
-						i := int(next.Add(1)) - 1
-						if i >= len(ep.groups) {
-							return
-						}
-						ep.groups[i].run()
-					}
-				}()
-			}
-			wg.Wait()
+			e.dispatchPool(ep.groups, workers)
 		}
 		e.epoch = nil
 		e.commitEpoch(ep)
+	}
+}
+
+// epochWork is one epoch's job for the persistent worker pool: the group
+// list plus the shared claim counter and completion barrier. One instance is
+// reused across epochs (the barrier guarantees exclusive access between them).
+type epochWork struct {
+	groups []*execGroup
+	next   atomic.Int64
+	wg     sync.WaitGroup
+}
+
+// drain claims and runs groups until none remain.
+func (w *epochWork) drain() {
+	for {
+		i := int(w.next.Add(1)) - 1
+		if i >= len(w.groups) {
+			return
+		}
+		w.groups[i].run()
+	}
+}
+
+// dispatchPool runs the epoch's groups on the persistent worker pool, growing
+// it to workers-1 goroutines on demand (the scheduler thread is the last
+// worker). Keeping the goroutines alive across epochs matters when most
+// epochs are narrow: a coupled collective forms thousands of one- and
+// two-group epochs, and spawning goroutines per epoch made dispatch at
+// width N measurably slower than width 1. Which worker runs which group can
+// never change results — groups touch disjoint resources by construction.
+func (e *Engine) dispatchPool(groups []*execGroup, workers int) {
+	if e.pool == nil {
+		e.pool = make(chan *epochWork)
+		e.poolWork = &epochWork{}
+	}
+	for e.poolSize < workers-1 {
+		e.poolSize++
+		go func() {
+			for w := range e.pool {
+				w.drain()
+				w.wg.Done()
+			}
+		}()
+	}
+	w := e.poolWork
+	w.groups = groups
+	w.next.Store(0)
+	w.wg.Add(e.poolSize)
+	for i := 0; i < e.poolSize; i++ {
+		e.pool <- w
+	}
+	w.drain()
+	w.wg.Wait()
+	w.groups = nil
+}
+
+// stopPool retires the persistent worker pool when the run ends. Without it
+// the pool goroutines would block on the work channel forever — engines are
+// built per job, and a sweep builds hundreds.
+func (e *Engine) stopPool() {
+	if e.pool != nil {
+		close(e.pool)
+		e.pool = nil
+		e.poolSize = 0
 	}
 }
 
@@ -313,12 +366,14 @@ func (e *Engine) runEpochs() {
 // earliest failure, and leftover events re-sequenced deterministically.
 func (e *Engine) commitEpoch(ep *epochState) {
 	depth := 0
+	yields := uint64(0)
 	for _, g := range ep.groups {
 		e.stats.Dispatched += g.stats.Dispatched
 		e.stats.Callbacks += g.stats.Callbacks
 		e.stats.Resumes += g.stats.Resumes
 		e.stats.StaleWakes += g.stats.StaleWakes
 		e.stats.CoalescedWakes += g.stats.CoalescedWakes
+		yields += g.stats.RegroupYields
 		depth += g.pq.maxDepth
 		// Earliest failure wins, by (virtual time, group index) — an order
 		// independent of worker scheduling.
@@ -329,6 +384,18 @@ func (e *Engine) commitEpoch(ep *epochState) {
 	}
 	if depth > e.epochDepthMax {
 		e.epochDepthMax = depth
+	}
+	e.stats.RegroupYields += yields
+	// A regroup-yield storm — many processes claiming resources their groups
+	// did not own in the same epoch — signals a communication-pattern switch:
+	// the claims that shaped the old groups are stale. Raise the phase-shift
+	// flag so the next formation's footprints may retire quiescent claims
+	// eagerly and re-widen, instead of inheriting the old merge for a full
+	// decay window. Group execution is width-independent, so the yield count
+	// and the threshold decision are too.
+	if yields >= e.phaseStormThreshold() {
+		e.phaseShift = true
+		e.stats.PhaseRewidens++
 	}
 	// Flush buffered emissions in (t, group index, group-local seq) order —
 	// the groups and their execution are width-independent, so the flushed
@@ -377,6 +444,18 @@ func (e *Engine) commitEpoch(ep *epochState) {
 		}
 		e.pq.push(ev)
 	}
+}
+
+// phaseStormThreshold is the per-epoch regroup-yield count that flags a
+// phase change: a quarter of the processes, but at least two. Ordinary churn
+// (one rank claiming one new pair) stays below it; a pattern switch — every
+// rank re-pairing at once — clears it easily.
+func (e *Engine) phaseStormThreshold() uint64 {
+	th := uint64(len(e.procs) / 4)
+	if th < 2 {
+		th = 2
+	}
+	return th
 }
 
 // flushEmits hands the epoch's buffered emissions to the emitter in

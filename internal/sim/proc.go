@@ -118,6 +118,7 @@ func (p *Proc) YieldRegroup() {
 	}
 	g.seq++
 	g.spill = append(g.spill, event{t: p.now, seq: g.seq, proc: p, timer: true})
+	g.stats.RegroupYields++
 	p.state = stateScheduled
 	// Record the yield so wakes aimed at this process later in the epoch are
 	// spilled rather than stale-dropped: the resume timer above fires only
