@@ -35,14 +35,14 @@ import (
 )
 
 func main() {
-	figID := flag.String("fig", "all", "experiment id (fig1, fig3a, fig3bc, tableI, fig7a..c, fig8..12, ext-scaling, ext-faults, ext-recovery) or 'all'")
+	figID := flag.String("fig", "all", "experiment id (fig1, fig3a, fig3bc, tableI, fig7a..c, fig8..12, ext-scaling, ext-faults, ext-recovery, ext-mltrain) or 'all'")
 	full := flag.Bool("full", false, "run at the paper's full deployment geometry (slower)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text (for plotting)")
 	workers := flag.Int("j", 0, "experiment sweep workers; 0 = CMPI_SWEEP_WORKERS env or GOMAXPROCS (tables are byte-identical for any value)")
 	simWorkers := flag.Int("sim-j", 0, "epoch dispatch width inside each simulated world; 0 = CMPI_SIM_WORKERS env or 1 (results are byte-identical for any value)")
 	benchOut := flag.String("bench-out", "", "write a host-time benchmark snapshot (JSON) to this file and exit")
-	benchSmoke := flag.Bool("bench-smoke", false, "quick dispatch-width regression gate: fail unless the 64-rank allreduce at widths 2/4/8/N keeps up with width 1 (10% tolerance)")
+	benchSmoke := flag.Bool("bench-smoke", false, "quick dispatch-width regression gate: fail unless the 64-rank allreduce (1 KiB at widths 2/4/8/N, 1 MiB at width N) keeps up with width 1 (10% tolerance)")
 	traceOut := flag.String("trace-out", "", "record the canonical trace job to this file and exit")
 	replay := flag.String("replay", "", "replay a recorded trace: reconstruct and print its counters, then exit")
 	traceDiff := flag.Bool("trace-diff", false, "compare the two trace files given as arguments; exit 1 on divergence")
@@ -311,16 +311,19 @@ func world64(simWorkers int) (*mpi.World, error) {
 	return w, nil
 }
 
-// measureAllreduce64 times iters 64-rank allreduces at the given dispatch
-// width and returns host seconds plus the run's scheduler stats.
-func measureAllreduce64(simWorkers, iters int) (float64, profile.SimStats, error) {
+// measureAllreduce64 times iters 64-rank allreduces of bytes each at the
+// given dispatch width and returns host seconds plus the run's scheduler
+// stats. 1 KiB exercises the recursive-doubling latency regime; 1 MiB the
+// ring/Rabenseifner bandwidth regime the collective selector routes large
+// messages onto.
+func measureAllreduce64(simWorkers, iters, bytes int) (float64, profile.SimStats, error) {
 	w, err := world64(simWorkers)
 	if err != nil {
 		return 0, profile.SimStats{}, err
 	}
 	start := time.Now()
 	err = w.Run(func(r *mpi.Rank) error {
-		buf := mpi.EncodeInt64s(make([]int64, 128))
+		buf := make([]byte, bytes)
 		for i := 0; i < iters; i++ {
 			r.Allreduce(buf, mpi.SumInt64)
 		}
@@ -341,7 +344,7 @@ func measureAllreduce64(simWorkers, iters int) (float64, profile.SimStats, error
 // of whichever width it happened to land on. Simulated results and stats
 // are identical across rounds (determinism), so any round's stats are the
 // run's stats.
-func measureAllreduceWidths(widths []int, iters, rounds int) ([]float64, []profile.SimStats, error) {
+func measureAllreduceWidths(widths []int, iters, rounds, bytes int) ([]float64, []profile.SimStats, error) {
 	best := make([]float64, len(widths))
 	stats := make([]profile.SimStats, len(widths))
 	for i := range best {
@@ -349,7 +352,7 @@ func measureAllreduceWidths(widths []int, iters, rounds int) ([]float64, []profi
 	}
 	for rep := 0; rep < rounds; rep++ {
 		for i, wk := range widths {
-			sec, st, err := measureAllreduce64(wk, iters)
+			sec, st, err := measureAllreduce64(wk, iters, bytes)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -431,7 +434,7 @@ func writeBenchSnapshot(path string) error {
 		snap.SimWorkers = 4
 	}
 	fmt.Fprintf(os.Stderr, "64-rank dispatch-width points (widths 1/2/4/8/%d)...\n", snap.SimWorkers)
-	arTimes, arStats, err := measureAllreduceWidths([]int{1, 2, 4, 8, snap.SimWorkers}, 200, 3)
+	arTimes, arStats, err := measureAllreduceWidths([]int{1, 2, 4, 8, snap.SimWorkers}, 200, 3, 1<<10)
 	if err != nil {
 		return err
 	}
@@ -487,7 +490,7 @@ func benchSmokeCheck() error {
 	if widthN != 2 && widthN != 4 && widthN != 8 {
 		widths = append(widths, widthN)
 	}
-	times, _, err := measureAllreduceWidths(widths, 100, 3)
+	times, _, err := measureAllreduceWidths(widths, 100, 3, 1<<10)
 	if err != nil {
 		return err
 	}
@@ -499,6 +502,20 @@ func benchSmokeCheck() error {
 		if sec > base*1.10 {
 			return fmt.Errorf("allreduce64 at width %d took %.3fs, >10%% slower than width 1 (%.3fs)", wk, sec, base)
 		}
+	}
+	// Large-message point: a 1 MiB allreduce rides the selector's bandwidth
+	// regime (the ring on this spread 64-rank world) whose 2(P-1) chained
+	// sendrecv steps stress the dispatcher very differently from the
+	// log2(P)-round latency job above.
+	largeWidths := []int{1, widthN}
+	largeTimes, _, err := measureAllreduceWidths(largeWidths, 5, 3, 1<<20)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("allreduce64-1MiB width 1: %.3fs\n", largeTimes[0])
+	fmt.Printf("allreduce64-1MiB width %d: %.3fs (%.2fx)\n", widthN, largeTimes[1], largeTimes[0]/largeTimes[1])
+	if largeTimes[1] > largeTimes[0]*1.10 {
+		return fmt.Errorf("allreduce64-1MiB at width %d took %.3fs, >10%% slower than width 1 (%.3fs)", widthN, largeTimes[1], largeTimes[0])
 	}
 	return nil
 }

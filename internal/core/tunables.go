@@ -32,10 +32,14 @@ type Tunables struct {
 	// memory ring instead.
 	UseCMA bool
 	// AllreduceLargeThreshold switches Allreduce from recursive doubling
-	// (latency-optimal) to Rabenseifner's reduce-scatter + allgather
-	// (bandwidth-optimal) above this message size, mirroring
-	// MV2_ALLREDUCE_SHORT_MSG.
+	// (latency-optimal) to a bandwidth-optimal algorithm above this message
+	// size, mirroring MV2_ALLREDUCE_SHORT_MSG.
 	AllreduceLargeThreshold int
+	// AllreduceAlgo selects the flat Allreduce algorithm. AllreduceAuto (the
+	// zero value) picks per call from message size, world size, and the
+	// deployment's co-resident fraction; the other values force one
+	// algorithm, mirroring MV2_ALLREDUCE_ALGO-style overrides.
+	AllreduceAlgo AllreduceAlgo
 	// RetryCount mirrors the RC retry_cnt attribute (MV2_DEFAULT_RETRY_COUNT):
 	// how many times the HCA retransmits an unacknowledged operation before
 	// completing it with an error and breaking the queue pair. 0 means "use
@@ -58,6 +62,70 @@ func DefaultTunables() Tunables {
 		RetryCount:              7,
 		RetryTimeout:            RetryTimeoutFromExponent(2), // 4.096us * 2^2
 	}
+}
+
+// AllreduceAlgo names one flat Allreduce algorithm (or the auto selector).
+type AllreduceAlgo uint8
+
+const (
+	// AllreduceAuto selects per call: recursive doubling for small or
+	// unaligned buffers, ring on fully co-resident deployments, and
+	// Rabenseifner otherwise for large aligned buffers.
+	AllreduceAuto AllreduceAlgo = iota
+	// AllreduceRecursiveDoubling is the latency-optimal log2(P)-round
+	// exchange (with the standard fold for non-power-of-two worlds).
+	AllreduceRecursiveDoubling
+	// AllreduceRabenseifner is reduce-scatter by recursive halving followed
+	// by an allgather by recursive doubling — bandwidth-optimal, but its
+	// exchanges span the whole rank range.
+	AllreduceRabenseifner
+	// AllreduceRing is the reduce-scatter + allgather ring: 2(P-1) steps of
+	// nearest-neighbor traffic, the algorithm data-parallel training
+	// frameworks use for gradient exchange.
+	AllreduceRing
+	// AllreduceTree is a binomial reduce to rank 0 followed by a binomial
+	// broadcast: 2·log2(P) rounds moving the full buffer each time. Never
+	// auto-selected (dominated by recursive doubling in this cost model);
+	// kept as a forced baseline for comparison tables.
+	AllreduceTree
+
+	// NumAllreduceAlgos sizes per-algorithm counter arrays.
+	NumAllreduceAlgos = int(AllreduceTree) + 1
+)
+
+// String names the algorithm for tables and env parsing.
+func (a AllreduceAlgo) String() string {
+	switch a {
+	case AllreduceAuto:
+		return "auto"
+	case AllreduceRecursiveDoubling:
+		return "rd"
+	case AllreduceRabenseifner:
+		return "rab"
+	case AllreduceRing:
+		return "ring"
+	case AllreduceTree:
+		return "tree"
+	}
+	return fmt.Sprintf("algo(%d)", int(a))
+}
+
+// ParseAllreduceAlgo parses an algorithm name as accepted by
+// MV2_ALLREDUCE_ALGO (long names and the short table names both work).
+func ParseAllreduceAlgo(s string) (AllreduceAlgo, error) {
+	switch s {
+	case "auto", "":
+		return AllreduceAuto, nil
+	case "rd", "recursive-doubling":
+		return AllreduceRecursiveDoubling, nil
+	case "rab", "rabenseifner":
+		return AllreduceRabenseifner, nil
+	case "ring":
+		return AllreduceRing, nil
+	case "tree":
+		return AllreduceTree, nil
+	}
+	return AllreduceAuto, fmt.Errorf("unknown allreduce algorithm %q (want auto, rd, rab, ring, or tree)", s)
 }
 
 // RetryTimeoutFromExponent converts the verbs local-ACK-timeout encoding
@@ -83,6 +151,9 @@ func (t Tunables) Validate() error {
 	}
 	if t.IBAEagerThreshold < 128 {
 		return fmt.Errorf("tunables: MV2_IBA_EAGER_THRESHOLD = %d, need >= 128", t.IBAEagerThreshold)
+	}
+	if int(t.AllreduceAlgo) >= NumAllreduceAlgos {
+		return fmt.Errorf("tunables: allreduce algorithm code %d out of range", int(t.AllreduceAlgo))
 	}
 	if t.RetryCount < 0 {
 		return fmt.Errorf("tunables: retry count = %d, need >= 0", t.RetryCount)

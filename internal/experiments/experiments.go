@@ -125,6 +125,7 @@ func All() []Experiment {
 		{ID: "ext-scaling", Run: ScalingExtension},
 		{ID: "ext-faults", Run: FaultsExtension},
 		{ID: "ext-recovery", Run: RecoveryExtension},
+		{ID: "ext-mltrain", Run: MLTrainExtension},
 	}
 }
 

@@ -2,11 +2,15 @@ package mpi
 
 // Collectives, implemented over the point-to-point layer with the standard
 // MPICH/MVAPICH algorithm family: dissemination barrier, binomial
-// broadcast/reduce, recursive-doubling allreduce and allgather (ring for
-// non-power-of-two worlds), and pairwise-exchange alltoall. Locality-aware
-// channel selection happens underneath, which is exactly how the paper's
-// collective improvements arise: the intra-host portion of every algorithm
-// step rides SHM/CMA instead of HCA loopback.
+// broadcast/reduce, allreduce with per-call algorithm selection
+// (coll_select.go) over recursive doubling, Rabenseifner, ring, and tree,
+// recursive-doubling allgather (ring for non-power-of-two worlds), and
+// pairwise-exchange alltoall. Locality-aware channel selection happens
+// underneath, which is exactly how the paper's collective improvements
+// arise: the intra-host portion of every algorithm step rides SHM/CMA
+// instead of HCA loopback.
+
+import "cmpi/internal/core"
 
 // collCtxBit marks the collective half of a context: collective traffic is
 // matched on ctx|collCtxBit so that user wildcard receives (AnySource /
@@ -120,8 +124,10 @@ func (r *Rank) reduce(root int, buf []byte, op ReduceOp) {
 	}
 }
 
-// Allreduce combines buf across all ranks, leaving the result everywhere
-// (recursive doubling, with the standard fold for non-power-of-two worlds).
+// Allreduce combines buf across all ranks, leaving the result everywhere.
+// The algorithm — recursive doubling, Rabenseifner, ring, or tree — is
+// chosen per call by the selector in coll_select.go (forceable via
+// Tunables.AllreduceAlgo / MV2_ALLREDUCE_ALGO).
 func (r *Rank) Allreduce(buf []byte, op ReduceOp) {
 	r.profEnter()
 	defer r.profExit("Allreduce")
@@ -136,17 +142,28 @@ func (r *Rank) allreduce(buf []byte, op ReduceOp) {
 	if r.size == 1 {
 		return
 	}
-	// Large messages: Rabenseifner's reduce-scatter + allgather moves each
-	// byte across the wire ~2x instead of ~log2(P)x. Requires the buffer to
-	// split into pof2 8-byte-aligned segments.
 	pof2 := 1
 	for pof2*2 <= r.size {
 		pof2 *= 2
 	}
-	if len(buf) >= r.w.Opts.Tunables.AllreduceLargeThreshold && len(buf)%(8*pof2) == 0 {
+	algo := r.selectAllreduce(len(buf), pof2)
+	r.recordCollAlgo(algo, len(buf))
+	switch algo {
+	case core.AllreduceRabenseifner:
 		r.allreduceRab(buf, op, pof2)
-		return
+	case core.AllreduceRing:
+		r.allreduceRing(buf, op)
+	case core.AllreduceTree:
+		r.allreduceTree(buf, op)
+	default:
+		r.allreduceRD(buf, op, pof2)
 	}
+}
+
+// allreduceRD is recursive doubling: log2(P) full-buffer exchanges, with
+// the standard fold for non-power-of-two worlds. Latency-optimal; the
+// selector's choice for small buffers.
+func (r *Rank) allreduceRD(buf []byte, op ReduceOp, pof2 int) {
 	tag := r.nextCollTag()
 	rem := r.size - pof2
 	tmp := make([]byte, len(buf))
@@ -266,6 +283,57 @@ func (r *Rank) allreduceRab(buf []byte, op ReduceOp, pof2 int) {
 			r.wait(r.csend(r.rank-1, tag, buf))
 		}
 	}
+}
+
+// allreduceRing is the reduce-scatter + allgather ring used by data-parallel
+// training frameworks: P-1 steps passing reduced partial chunks to the right
+// neighbor, then P-1 steps circulating the finished chunks. Every transfer
+// is nearest-neighbor, so on a co-resident job each step stays on the
+// SHM/CMA channels between adjacent ranks. Requires len(buf)%8 == 0 (chunk
+// boundaries stay element-aligned); ranks beyond the element count simply
+// own empty chunks.
+func (r *Rank) allreduceRing(buf []byte, op ReduceOp) {
+	tagRS := r.nextCollTag()
+	tagAG := r.nextCollTag()
+	n := r.size
+	nel := len(buf) / 8
+	// Element-aligned chunk boundaries: chunk i is buf[off(i):off(i+1)].
+	off := func(i int) int { return i * nel / n * 8 }
+	chunk := func(i int) []byte { return buf[off(i):off(i+1)] }
+	right := (r.rank + 1) % n
+	left := (r.rank - 1 + n) % n
+	// A chunk spans floor((i+1)·nel/n) - floor(i·nel/n) <= ceil(nel/n)
+	// elements; size the receive scratch for the worst case.
+	tmp := make([]byte, (nel+n-1)/n*8)
+
+	// Reduce-scatter: at step s, send chunk (rank-s) and receive chunk
+	// (rank-s-1), reducing it into buf. After n-1 steps this rank holds the
+	// fully reduced chunk (rank+1).
+	for s := 0; s < n-1; s++ {
+		sendIdx := (r.rank - s + n) % n
+		recvIdx := (r.rank - s - 1 + n) % n
+		rc := chunk(recvIdx)
+		r.sendrecvInternal(right, tagRS, chunk(sendIdx), left, tagRS, tmp[:len(rc)])
+		if len(rc) > 0 {
+			r.chargeReduce(len(rc))
+			op(rc, tmp[:len(rc)])
+		}
+	}
+	// Allgather: circulate the finished chunks, starting from (rank+1).
+	for s := 0; s < n-1; s++ {
+		sendIdx := (r.rank + 1 - s + n) % n
+		recvIdx := (r.rank - s + n) % n
+		r.sendrecvInternal(right, tagAG, chunk(sendIdx), left, tagAG, chunk(recvIdx))
+	}
+}
+
+// allreduceTree is a binomial reduce to rank 0 followed by a binomial
+// broadcast: 2·log2(P) rounds, each moving the whole buffer. Dominated by
+// recursive doubling in this cost model, so the selector never picks it;
+// it exists as a forced comparison baseline (MV2_ALLREDUCE_ALGO=tree).
+func (r *Rank) allreduceTree(buf []byte, op ReduceOp) {
+	r.reduce(0, buf, op)
+	r.bcast(0, buf)
 }
 
 // Allgather concatenates every rank's mine (all equal length) into out,

@@ -10,11 +10,6 @@ package mpi
 // the default, matching the paper's evaluation. The ablation bench
 // BenchmarkAblationFlatVsHierarchical compares the two.
 
-import (
-	"cmpi/internal/cluster"
-	"cmpi/internal/core"
-)
-
 // localityGroup returns this rank's group (the ranks the library believes
 // co-resident, sorted ascending and including the rank itself) and the
 // sorted list of all group leaders. Groups are identical on every member
@@ -50,19 +45,10 @@ func (r *Rank) localityGroup() (group []int, leaders []int) {
 }
 
 // sameGroup reports whether ranks a and b are mutually local from the
-// deployment's ground truth filtered through the library's mode: hostname
-// equality by default, host + shared IPC namespace (what the detector
-// recovers) in locality-aware mode.
+// deployment's ground truth filtered through the library's mode (see
+// World.sameLocalityGroup, shared with the algorithm selector).
 func (r *Rank) sameGroup(a, b int) bool {
-	if a == b {
-		return true
-	}
-	pa := r.w.Deploy.Placements[a].Env
-	pb := r.w.Deploy.Placements[b].Env
-	if r.w.Opts.Mode == core.ModeLocalityAware {
-		return pa.SameHost(pb) && pa.SharesNamespace(cluster.IPC, pb)
-	}
-	return pa.Hostname() == pb.Hostname()
+	return r.w.sameLocalityGroup(a, b)
 }
 
 // hierAllreduce: local reduce to the group leader, recursive-doubling

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -19,19 +20,28 @@ import (
 //	MV2_CONTAINER_SUPPORT     0/1: the paper's locality-aware design
 //	                          (the MVAPICH2-Virt flag this work shipped as)
 //	MV2_USE_HIERARCHICAL_COLL 0/1: two-level collectives (extension)
+//	MV2_ALLREDUCE_ALGO        auto|rd|rab|ring|tree: flat Allreduce
+//	                          algorithm (auto = per-call selection)
 //	MV2_DEFAULT_RETRY_COUNT   RC retransmissions before the QP errors out
 //	MV2_DEFAULT_TIME_OUT      RC retry timeout exponent (4.096us * 2^v)
 //
-// Values accept optional K/M suffixes (binary units). Unknown MV2_*
-// variables are ignored, like the real library. The env map is typically
-// built from os.Environ(); a map keeps the function deterministic and
-// testable.
+// Size values accept optional K/M suffixes (binary units) and must be
+// positive. Boolean values are case-insensitive (1/0, on/off, true/false).
+// Unknown MV2_* variables are ignored, like the real library. The env map
+// is typically built from os.Environ(); keys are applied in sorted order,
+// so when several values are invalid the reported error is deterministic —
+// always the lexicographically first offender.
 func OptionsFromEnv(base Options, env map[string]string) (Options, error) {
 	opts := base
-	for key, val := range env {
-		if !strings.HasPrefix(key, "MV2_") {
-			continue
+	keys := make([]string, 0, len(env))
+	for key := range env {
+		if strings.HasPrefix(key, "MV2_") {
+			keys = append(keys, key)
 		}
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		val := env[key]
 		var err error
 		switch key {
 		case "MV2_SMP_EAGERSIZE":
@@ -53,6 +63,8 @@ func OptionsFromEnv(base Options, env map[string]string) (Options, error) {
 			}
 		case "MV2_USE_HIERARCHICAL_COLL":
 			opts.HierarchicalCollectives, err = parseBool(val)
+		case "MV2_ALLREDUCE_ALGO":
+			opts.Tunables.AllreduceAlgo, err = core.ParseAllreduceAlgo(strings.ToLower(strings.TrimSpace(val)))
 		case "MV2_DEFAULT_RETRY_COUNT":
 			opts.Tunables.RetryCount, err = strconv.Atoi(strings.TrimSpace(val))
 		case "MV2_DEFAULT_TIME_OUT":
@@ -70,7 +82,9 @@ func OptionsFromEnv(base Options, env map[string]string) (Options, error) {
 	return opts, opts.Validate()
 }
 
-// parseSize parses "8192", "8K", "128K", "1M" (binary units).
+// parseSize parses "8192", "8K", "128K", "1M" (binary units). Sizes
+// configure buffer capacities and protocol thresholds, so non-positive
+// values are rejected here rather than flowing into the tunables.
 func parseSize(s string) (int, error) {
 	s = strings.TrimSpace(strings.ToUpper(s))
 	mult := 1
@@ -84,14 +98,19 @@ func parseSize(s string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	if v <= 0 {
+		return 0, fmt.Errorf("size must be positive, got %d", v*mult)
+	}
 	return v * mult, nil
 }
 
+// parseBool accepts 1/0, on/off, true/false in any letter case, matching
+// the real library's forgiving parsing.
 func parseBool(s string) (bool, error) {
-	switch strings.TrimSpace(s) {
-	case "1", "on", "ON", "true", "TRUE":
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "1", "on", "true":
 		return true, nil
-	case "0", "off", "OFF", "false", "FALSE":
+	case "0", "off", "false":
 		return false, nil
 	}
 	return false, fmt.Errorf("not a boolean")

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"strings"
 	"testing"
 
 	"cmpi/internal/core"
@@ -50,6 +51,81 @@ func TestOptionsFromEnvErrors(t *testing.T) {
 	// Inconsistent result (eager above ring budget) must fail validation.
 	if _, err := OptionsFromEnv(DefaultOptions(), map[string]string{"MV2_SMP_EAGERSIZE": "1M"}); err == nil {
 		t.Error("eager > length queue accepted")
+	}
+}
+
+// TestOptionsFromEnvDeterministicError feeds several invalid values at once
+// and requires the reported error to always name the lexicographically
+// first offending key — map iteration order must not leak through.
+func TestOptionsFromEnvDeterministicError(t *testing.T) {
+	env := map[string]string{
+		"MV2_SMP_USE_CMA":         "maybe",
+		"MV2_SMP_EAGERSIZE":       "lots",
+		"MV2_IBA_EAGER_THRESHOLD": "junk",
+		"MV2_ALLREDUCE_ALGO":      "bogus",
+	}
+	const want = "MV2_ALLREDUCE_ALGO"
+	for i := 0; i < 32; i++ {
+		_, err := OptionsFromEnv(DefaultOptions(), env)
+		if err == nil {
+			t.Fatal("invalid env accepted")
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("iteration %d: error %q, want the first key %s", i, err, want)
+		}
+	}
+}
+
+// TestOptionsFromEnvParseEdges pins the size and bool parser edges: sizes
+// must be positive, bools are case-insensitive.
+func TestOptionsFromEnvParseEdges(t *testing.T) {
+	for _, bad := range []string{"0", "-1", "-4K", "0M"} {
+		if _, err := OptionsFromEnv(DefaultOptions(), map[string]string{"MV2_IBA_EAGER_THRESHOLD": bad}); err == nil {
+			t.Errorf("non-positive size %q accepted", bad)
+		}
+	}
+	opts, err := OptionsFromEnv(DefaultOptions(), map[string]string{"MV2_IBA_EAGER_THRESHOLD": "24k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Tunables.IBAEagerThreshold != 24*1024 {
+		t.Errorf("24k parsed as %d", opts.Tunables.IBAEagerThreshold)
+	}
+	for val, want := range map[string]bool{"On": true, "TRUE": true, " 1 ": true, "Off": false, "False": false, "0": false} {
+		opts, err := OptionsFromEnv(DefaultOptions(), map[string]string{"MV2_SMP_USE_CMA": val})
+		if err != nil {
+			t.Errorf("bool %q rejected: %v", val, err)
+			continue
+		}
+		if opts.Tunables.UseCMA != want {
+			t.Errorf("bool %q parsed as %v", val, opts.Tunables.UseCMA)
+		}
+	}
+}
+
+// TestOptionsFromEnvAllreduceAlgo covers the MV2_ALLREDUCE_ALGO mapping,
+// including case-insensitivity and the long algorithm names.
+func TestOptionsFromEnvAllreduceAlgo(t *testing.T) {
+	for val, want := range map[string]core.AllreduceAlgo{
+		"auto":               core.AllreduceAuto,
+		"rd":                 core.AllreduceRecursiveDoubling,
+		"recursive-doubling": core.AllreduceRecursiveDoubling,
+		"Rab":                core.AllreduceRabenseifner,
+		"rabenseifner":       core.AllreduceRabenseifner,
+		"RING":               core.AllreduceRing,
+		"tree":               core.AllreduceTree,
+	} {
+		opts, err := OptionsFromEnv(DefaultOptions(), map[string]string{"MV2_ALLREDUCE_ALGO": val})
+		if err != nil {
+			t.Errorf("algo %q rejected: %v", val, err)
+			continue
+		}
+		if opts.Tunables.AllreduceAlgo != want {
+			t.Errorf("algo %q parsed as %v, want %v", val, opts.Tunables.AllreduceAlgo, want)
+		}
+	}
+	if _, err := OptionsFromEnv(DefaultOptions(), map[string]string{"MV2_ALLREDUCE_ALGO": "quantum"}); err == nil {
+		t.Error("unknown algorithm accepted")
 	}
 }
 

@@ -3,6 +3,7 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"cmpi/internal/cluster"
@@ -92,6 +93,13 @@ type World struct {
 	// decay is the resolved footprint decay window in epochs (0 = legacy
 	// sticky footprints); see Options.FootprintDecay and Rank.footprint.
 	decay int
+
+	// coResFrac caches the deployment's co-resident rank-pair fraction for
+	// the collective algorithm selector (coResidentFraction). Computed once
+	// from Deploy ground truth — never from per-rank capability tables,
+	// which can diverge under detector faults.
+	coResOnce sync.Once
+	coResFrac float64
 }
 
 // jobCounter is atomic: worlds are built concurrently by the parallel

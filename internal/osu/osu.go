@@ -36,7 +36,13 @@ func (s Series) At(bytes int) (float64, bool) {
 }
 
 // PowersOfTwo returns {lo, 2lo, ..., hi} (inclusive when hi is reached).
+// lo must be >= 1: doubling never advances from zero or a negative value,
+// so such a lo would loop forever. It panics on misuse rather than
+// returning a silently empty sweep.
 func PowersOfTwo(lo, hi int) []int {
+	if lo < 1 {
+		panic(fmt.Sprintf("osu.PowersOfTwo: lo must be >= 1, got %d", lo))
+	}
 	var out []int
 	for n := lo; n <= hi; n *= 2 {
 		out = append(out, n)

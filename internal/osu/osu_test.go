@@ -48,6 +48,21 @@ func TestPowersOfTwo(t *testing.T) {
 	}
 }
 
+// TestPowersOfTwoRejectsNonPositiveLo pins the lo >= 1 guard: lo <= 0 used
+// to loop forever (0 << 1 never reaches hi), now it must panic loudly.
+func TestPowersOfTwoRejectsNonPositiveLo(t *testing.T) {
+	for _, lo := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PowersOfTwo(%d, 16) did not panic", lo)
+				}
+			}()
+			PowersOfTwo(lo, 16)
+		}()
+	}
+}
+
 func TestLatencyShape(t *testing.T) {
 	sizes := PowersOfTwo(4, 1<<16)
 	s, err := Latency(pairWorld(t, true, core.ModeLocalityAware), sizes, quickCfg())

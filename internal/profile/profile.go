@@ -33,6 +33,54 @@ func (c *ChannelStats) Merge(other *ChannelStats) {
 	}
 }
 
+// CollAlgoStats counts which Allreduce algorithm each collective call ran,
+// indexed by core.AllreduceAlgo (the Auto slot stays zero: the selector
+// always records the concrete algorithm it resolved to).
+type CollAlgoStats struct {
+	Calls [core.NumAllreduceAlgos]uint64
+	Bytes [core.NumAllreduceAlgos]uint64
+}
+
+// Add records one Allreduce call of n bytes run with algorithm a.
+func (c *CollAlgoStats) Add(a core.AllreduceAlgo, n int) {
+	c.Calls[a]++
+	c.Bytes[a] += uint64(n)
+}
+
+// Merge accumulates other into c.
+func (c *CollAlgoStats) Merge(other *CollAlgoStats) {
+	for i := range c.Calls {
+		c.Calls[i] += other.Calls[i]
+		c.Bytes[i] += other.Bytes[i]
+	}
+}
+
+// TotalCalls sums calls over all algorithms.
+func (c CollAlgoStats) TotalCalls() uint64 {
+	var n uint64
+	for _, v := range c.Calls {
+		n += v
+	}
+	return n
+}
+
+// Dominant returns the algorithm that moved the most bytes (ties broken by
+// lowest code) and false when no Allreduce ran. Byte-weighted so the tiny
+// bookkeeping allreduces benchmarks issue for timing cannot swamp the
+// algorithm the measured payload actually used.
+func (c CollAlgoStats) Dominant() (core.AllreduceAlgo, bool) {
+	if c.TotalCalls() == 0 {
+		return 0, false
+	}
+	best := 0
+	for i := 1; i < len(c.Bytes); i++ {
+		if c.Bytes[i] > c.Bytes[best] {
+			best = i
+		}
+	}
+	return core.AllreduceAlgo(best), true
+}
+
 // FaultStats counts a rank's resilience activity under fault injection:
 // transport retries it observed and channel fallbacks it performed.
 type FaultStats struct {
@@ -121,6 +169,8 @@ type RankProfile struct {
 	AppTime sim.Time
 	// Channels counts transfer ops/bytes initiated by this rank.
 	Channels ChannelStats
+	// Coll counts which algorithm this rank's Allreduce calls ran.
+	Coll CollAlgoStats
 	// Faults counts retries and channel fallbacks this rank performed.
 	Faults FaultStats
 
@@ -184,6 +234,15 @@ func (p *Profile) TotalChannels() ChannelStats {
 	var total ChannelStats
 	for _, rp := range p.Ranks {
 		total.Merge(&rp.Channels)
+	}
+	return total
+}
+
+// TotalCollAlgos sums Allreduce algorithm stats over all ranks.
+func (p *Profile) TotalCollAlgos() CollAlgoStats {
+	var total CollAlgoStats
+	for _, rp := range p.Ranks {
+		total.Merge(&rp.Coll)
 	}
 	return total
 }

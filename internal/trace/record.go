@@ -62,6 +62,10 @@ const (
 	// OpCkpt marks one rank's participation in a committed coordinated
 	// checkpoint: Bytes is the rank's snapshot blob size, Aux the epoch.
 	OpCkpt
+	// OpCollAlgo records which algorithm one rank's Allreduce call ran:
+	// Bytes is the buffer size, Aux the core.AllreduceAlgo code. Pure
+	// annotation — it carries no message and no channel credit.
+	OpCollAlgo
 )
 
 var opNames = [...]string{
@@ -78,6 +82,7 @@ var opNames = [...]string{
 	OpQPBreak:     "qp-break",
 	OpAttachFail:  "attach-fail",
 	OpCkpt:        "ckpt",
+	OpCollAlgo:    "coll-algo",
 }
 
 // String names the op as encoded on the wire.

@@ -70,6 +70,10 @@ type Summary struct {
 	// Retransmits sums retries over retransmit records; QPBreaks and
 	// AttachFails count their records.
 	Retransmits, QPBreaks, AttachFails uint64
+	// CollAlgoCalls / CollAlgoBytes count Allreduce calls per algorithm
+	// (coll-algo records, indexed by core.AllreduceAlgo).
+	CollAlgoCalls [core.NumAllreduceAlgos]uint64
+	CollAlgoBytes [core.NumAllreduceAlgos]uint64
 	// UnmatchedSends counts send records with no matching receive (in-flight
 	// at the end of a failed or truncated recording).
 	UnmatchedSends int
@@ -233,6 +237,15 @@ func Replay(tr *Trace) *Summary {
 
 		case OpAttachFail:
 			s.AttachFails++
+
+		case OpCollAlgo:
+			// Annotation only — no channel credit.
+			if r.Aux < uint64(core.NumAllreduceAlgos) {
+				s.CollAlgoCalls[r.Aux]++
+				s.CollAlgoBytes[r.Aux] += uint64(r.Bytes)
+			} else {
+				s.Anomalies++
+			}
 		}
 	}
 	s.UnmatchedSends = len(inflight)
@@ -315,6 +328,22 @@ func (s *Summary) Render(w io.Writer) {
 				lo, hi = 1<<(b-1), 1<<b-1
 			}
 			fmt.Fprintf(w, "  %10d..%-10d %8d\n", lo, hi, hist[b])
+		}
+	}
+
+	// Allreduce algorithm annotations (per-rank per-call records).
+	var collTotal uint64
+	for _, n := range s.CollAlgoCalls {
+		collTotal += n
+	}
+	if collTotal > 0 {
+		fmt.Fprintf(w, "\nallreduce algorithms (per-rank calls)\n")
+		for a := 0; a < core.NumAllreduceAlgos; a++ {
+			if s.CollAlgoCalls[a] == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-10s %8d calls %14d bytes\n",
+				core.AllreduceAlgo(a), s.CollAlgoCalls[a], s.CollAlgoBytes[a])
 		}
 	}
 
