@@ -11,6 +11,8 @@
 //	repro -sim-j 4      # pin the in-world epoch dispatch width (default: 1)
 //	repro -bench-out BENCH_repro.json  # host-time benchmark snapshot
 //	repro -bench-smoke                 # dispatch-width regression gate
+//	repro -ranks 4096                  # scale-proxy allreduce on both engines
+//	repro -scale-smoke                 # flat-engine scale gate (4096 ranks)
 //	repro -trace-out golden.trace      # record the canonical trace job
 //	repro -replay golden.trace         # reconstruct counters from a trace
 //	repro -trace-diff A.trace B.trace  # first divergent record, if any
@@ -29,13 +31,15 @@ import (
 
 	"cmpi/internal/cluster"
 	"cmpi/internal/experiments"
+	"cmpi/internal/ib"
 	"cmpi/internal/mpi"
 	"cmpi/internal/profile"
+	"cmpi/internal/sim"
 	"cmpi/internal/trace"
 )
 
 func main() {
-	figID := flag.String("fig", "all", "experiment id (fig1, fig3a, fig3bc, tableI, fig7a..c, fig8..12, ext-scaling, ext-faults, ext-recovery, ext-mltrain) or 'all'")
+	figID := flag.String("fig", "all", "experiment id (fig1, fig3a, fig3bc, tableI, fig7a..c, fig8..12, ext-scaling, ext-scale, ext-faults, ext-recovery, ext-mltrain) or 'all'")
 	full := flag.Bool("full", false, "run at the paper's full deployment geometry (slower)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text (for plotting)")
@@ -47,6 +51,8 @@ func main() {
 	replay := flag.String("replay", "", "replay a recorded trace: reconstruct and print its counters, then exit")
 	traceDiff := flag.Bool("trace-diff", false, "compare the two trace files given as arguments; exit 1 on divergence")
 	faultSeed := flag.Int64("fault-seed", -1, "run the seeded chaos harness: fault.RandomPlan(seed) plus a crash, ddmin-shrunk to the minimal failing repro")
+	ranks := flag.Int("ranks", 0, "run the scale-proxy allreduce at this many ranks on both simulator engines and report time/memory")
+	scaleSmoke := flag.Bool("scale-smoke", false, "flat-engine scale gate: the 4096-rank allreduce must complete, agree with the goroutine engine, and use >=10x less accounted per-proc memory")
 	flag.Parse()
 
 	if *list {
@@ -72,6 +78,20 @@ func main() {
 	if *benchSmoke {
 		if err := benchSmokeCheck(); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-smoke: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ranks > 0 {
+		if err := scaleCompare(*ranks); err != nil {
+			fmt.Fprintf(os.Stderr, "ranks: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *scaleSmoke {
+		if err := scaleSmokeCheck(); err != nil {
+			fmt.Fprintf(os.Stderr, "scale-smoke: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -243,6 +263,94 @@ type benchSnapshot struct {
 	PairwiseSpeedup       float64 `json:"pairwise64_speedup"`
 	PairwiseMaxBatchWidth int     `json:"pairwise64_max_batch_width"`
 	PairwiseNarrowed      uint64  `json:"pairwise64_narrowed_pairs"`
+
+	// Scale-proxy points (mpi.RunScale, 1 MiB allreduce, 32 ranks/host on the
+	// 8-host-rack fat tree): min-of-3 host seconds on the flat engine, plus
+	// the accounted flat-vs-goroutine peak-memory ratio at 4096 ranks — the
+	// flat engine's headline number. The virtual result is engine-invariant;
+	// only host time is measured here.
+	Scale256Sec       float64 `json:"scale_allreduce_256_sec"`
+	Scale1024Sec      float64 `json:"scale_allreduce_1024_sec"`
+	Scale4096Sec      float64 `json:"scale_allreduce_4096_sec"`
+	Scale4096MemRatio float64 `json:"scale_allreduce_4096_mem_ratio"`
+}
+
+// scaleTopo is the fat tree the scale points run over (matches the ext-scale
+// experiment): 8-host racks behind a two-stage spine.
+var scaleTopo = ib.Topology{RackSize: 8, SpineStages: 2, SpinesPerStage: 4, HopLatency: 150 * sim.Nanosecond}
+
+// scaleOpts is the canonical scale-point configuration at n ranks.
+func scaleOpts(n int, flat bool) mpi.ScaleOptions {
+	return mpi.ScaleOptions{Ranks: n, RanksPerHost: 32, Bytes: 1 << 20, Topology: scaleTopo, Flat: &flat}
+}
+
+// measureScale runs the n-rank scale point `rounds` times on the chosen
+// engine and returns min host seconds plus the (identical) last result.
+func measureScale(n int, flat bool, rounds int) (float64, *mpi.ScaleResult, error) {
+	best := math.MaxFloat64
+	var res *mpi.ScaleResult
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		r, err := mpi.RunScale(scaleOpts(n, flat))
+		if err != nil {
+			return 0, nil, err
+		}
+		if sec := time.Since(start).Seconds(); sec < best {
+			best = sec
+		}
+		res = r
+	}
+	return best, res, nil
+}
+
+// scaleCompare runs one rank count on both engines and prints the report
+// behind `repro -ranks N`.
+func scaleCompare(n int) error {
+	fSec, fRes, err := measureScale(n, true, 1)
+	if err != nil {
+		return fmt.Errorf("flat engine: %w", err)
+	}
+	gSec, gRes, err := measureScale(n, false, 1)
+	if err != nil {
+		return fmt.Errorf("goroutine engine: %w", err)
+	}
+	if fRes.Time != gRes.Time {
+		return fmt.Errorf("engines diverged: flat %v vs goroutine %v", fRes.Time, gRes.Time)
+	}
+	fmt.Printf("scale allreduce: %d ranks, %d hosts, %d racks, algo %s\n", n, fRes.Hosts, fRes.Racks, fRes.Algo)
+	fmt.Printf("  virtual completion: %.3f ms (identical on both engines)\n", fRes.Time.Millis())
+	fmt.Printf("  flat engine:      %6.2fs host, peak %8d KiB accounted (arena %.0f%% utilized)\n",
+		fSec, fRes.Sim.PeakProcBytes/1024, fRes.Sim.ArenaUtilization*100)
+	fmt.Printf("  goroutine engine: %6.2fs host, peak %8d KiB accounted\n", gSec, gRes.Sim.PeakProcBytes/1024)
+	fmt.Printf("  accounted memory ratio: %.1fx\n", float64(gRes.Sim.PeakProcBytes)/float64(fRes.Sim.PeakProcBytes))
+	return nil
+}
+
+// scaleSmokeCheck is the CI scale gate: the 4096-rank point must complete on
+// the flat engine, agree exactly with the goroutine engine, and carry a >=10x
+// accounted memory advantage. No host-time threshold — CI budgets wall clock
+// via its own timeout; this gate checks behavior, not speed.
+func scaleSmokeCheck() error {
+	const n = 4096
+	fSec, fRes, err := measureScale(n, true, 1)
+	if err != nil {
+		return fmt.Errorf("flat engine: %w", err)
+	}
+	gSec, gRes, err := measureScale(n, false, 1)
+	if err != nil {
+		return fmt.Errorf("goroutine engine: %w", err)
+	}
+	fmt.Printf("scale4096 flat:      %.2fs host, virtual %.3f ms, peak %d KiB\n", fSec, fRes.Time.Millis(), fRes.Sim.PeakProcBytes/1024)
+	fmt.Printf("scale4096 goroutine: %.2fs host, virtual %.3f ms, peak %d KiB\n", gSec, gRes.Time.Millis(), gRes.Sim.PeakProcBytes/1024)
+	if fRes.Time != gRes.Time {
+		return fmt.Errorf("engines diverged: flat %v vs goroutine %v", fRes.Time, gRes.Time)
+	}
+	ratio := float64(gRes.Sim.PeakProcBytes) / float64(fRes.Sim.PeakProcBytes)
+	fmt.Printf("scale4096 accounted memory ratio: %.1fx\n", ratio)
+	if ratio < 10 {
+		return fmt.Errorf("flat engine memory advantage %.1fx, want >= 10x", ratio)
+	}
+	return nil
 }
 
 // regenAll runs every experiment at Quick scale and returns the wall time.
@@ -460,6 +568,24 @@ func writeBenchSnapshot(path string) error {
 	snap.PairwiseNarrowed = pwStats.NarrowedPairs
 	if snap.PairwiseWidthN > 0 {
 		snap.PairwiseSpeedup = snap.PairwiseWidth1 / snap.PairwiseWidthN
+	}
+	fmt.Fprintln(os.Stderr, "scale-proxy points (256/1024/4096 ranks, min-of-3)...")
+	if snap.Scale256Sec, _, err = measureScale(256, true, 3); err != nil {
+		return err
+	}
+	if snap.Scale1024Sec, _, err = measureScale(1024, true, 3); err != nil {
+		return err
+	}
+	var scaleRes *mpi.ScaleResult
+	if snap.Scale4096Sec, scaleRes, err = measureScale(4096, true, 3); err != nil {
+		return err
+	}
+	if _, gRes, err := measureScale(4096, false, 1); err != nil {
+		return err
+	} else if gRes.Time != scaleRes.Time {
+		return fmt.Errorf("scale4096 engines diverged: flat %v vs goroutine %v", scaleRes.Time, gRes.Time)
+	} else {
+		snap.Scale4096MemRatio = float64(gRes.Sim.PeakProcBytes) / float64(scaleRes.Sim.PeakProcBytes)
 	}
 	out, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

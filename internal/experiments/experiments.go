@@ -123,6 +123,7 @@ func All() []Experiment {
 		{ID: "fig11", Run: Figure11},
 		{ID: "fig12", Run: Figure12},
 		{ID: "ext-scaling", Run: ScalingExtension},
+		{ID: "ext-scale", Run: ScaleExtension},
 		{ID: "ext-faults", Run: FaultsExtension},
 		{ID: "ext-recovery", Run: RecoveryExtension},
 		{ID: "ext-mltrain", Run: MLTrainExtension},

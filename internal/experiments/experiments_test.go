@@ -19,8 +19,8 @@ func cell(t *testing.T, s string) float64 {
 
 func TestRegistryCoversAllArtifacts(t *testing.T) {
 	want := []string{"fig1", "fig3a", "fig3bc", "tableI", "fig7a", "fig7b", "fig7c",
-		"fig8", "fig9", "fig10", "fig11", "fig12", "ext-scaling", "ext-faults",
-		"ext-recovery", "ext-mltrain"}
+		"fig8", "fig9", "fig10", "fig11", "fig12", "ext-scaling", "ext-scale",
+		"ext-faults", "ext-recovery", "ext-mltrain"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))

@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Sweep-heavy property tests consult it: under race a full table
+// regeneration costs ~10x, and the properties they check (byte-identical
+// rendering) add no data-race coverage beyond the tests that already run the
+// same worlds race-instrumented.
+const raceEnabled = true

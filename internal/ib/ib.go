@@ -35,6 +35,13 @@ type Fabric struct {
 	prm   *perf.Params
 	ports []*port
 
+	// topo is the switching hierarchy (topology.go); the zero value is the
+	// legacy single crossbar. spines holds next-free times per spine switch,
+	// indexed [stage][switch] — shared across hosts, so non-trivial
+	// topologies require serialized dispatch.
+	topo   Topology
+	spines [][]sim.Time
+
 	// devices lists every opened device, for aggregating per-device pools.
 	// Appended only by OpenDevice, which runs during serialized job init.
 	devices []*Device
@@ -549,7 +556,11 @@ func (f *Fabric) transitTimes(src, dst int, n int, t0 sim.Time) (txEnd, arrival 
 	startTx, _ = f.inj.LinkReady(src, startTx)
 	upOcc := f.inj.OccScale(src, startTx, occ)
 	up.up = startTx + upOcc
-	rxStart := maxT(startTx+prm.IBWireLatencyInter, down.down)
+	// Inter-rack transfers climb the spine stages (per-switch contention plus
+	// per-hop latency); intra-rack and trivial topologies pass through
+	// unchanged (ready = startTx, extra = 0).
+	ready, extra := f.spinePath(src, dst, startTx, upOcc)
+	rxStart := maxT(ready+prm.IBWireLatencyInter+extra, down.down)
 	rxStart, _ = f.inj.LinkReady(dst, rxStart)
 	// The receiver cannot drain faster than a degraded sender trickles bytes
 	// out, so the downlink is occupied for the slower of the two rates.

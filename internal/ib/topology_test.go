@@ -1,0 +1,106 @@
+package ib
+
+import (
+	"testing"
+
+	"cmpi/internal/cluster"
+	"cmpi/internal/perf"
+	"cmpi/internal/sim"
+)
+
+func topoFabric(t *testing.T, hosts int, topo Topology) *Fabric {
+	t.Helper()
+	clu, err := cluster.New(cluster.Spec{Hosts: hosts, SocketsPerHost: 2, CoresPerSocket: 4, HCAsPerHost: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prm := perf.Default()
+	f := NewFabric(sim.NewEngine(), &prm, clu)
+	if err := f.SetTopology(topo); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+var testTopo = Topology{RackSize: 4, SpineStages: 2, SpinesPerStage: 2, HopLatency: 150 * sim.Nanosecond}
+
+// TestIntraRackMatchesTrivial: transfers that stay behind one leaf switch
+// cost exactly what the legacy crossbar charged — the topology is invisible
+// to them.
+func TestIntraRackMatchesTrivial(t *testing.T) {
+	flat := topoFabric(t, 8, Topology{})
+	hier := topoFabric(t, 8, testTopo)
+	for _, n := range []int{64, 4096, 1 << 20} {
+		fTx, fArr := flat.Transit(0, 1, n, 0)
+		hTx, hArr := hier.Transit(0, 1, n, 0)
+		if fTx != hTx || fArr != hArr {
+			t.Fatalf("n=%d intra-rack diverged: trivial (%v,%v) vs hier (%v,%v)", n, fTx, fArr, hTx, hArr)
+		}
+	}
+}
+
+// TestInterRackAddsHopLatency: a contention-free inter-rack transfer pays
+// exactly 2*SpineStages*HopLatency over the crossbar cost.
+func TestInterRackAddsHopLatency(t *testing.T) {
+	flat := topoFabric(t, 8, Topology{})
+	hier := topoFabric(t, 8, testTopo)
+	_, fArr := flat.Transit(0, 4, 4096, 0)
+	_, hArr := hier.Transit(0, 4, 4096, 0)
+	want := fArr + sim.Time(2*testTopo.SpineStages)*testTopo.HopLatency
+	if hArr != want {
+		t.Fatalf("inter-rack arrival %v, want crossbar %v + 4 hops = %v", hArr, fArr, want)
+	}
+}
+
+// TestSpineContentionSerializes: two inter-rack flows from different source
+// hosts that hash onto the same spine switches contend there, even though
+// every endpoint link is idle; on the trivial crossbar they are independent.
+func TestSpineContentionSerializes(t *testing.T) {
+	// One spine per stage: all inter-rack flows share every spine switch.
+	shared := testTopo
+	shared.SpinesPerStage = 1
+	hier := topoFabric(t, 8, shared)
+	flat := topoFabric(t, 8, Topology{})
+
+	const n = 1 << 20
+	_, soloArr := flat.Transit(0, 4, n, 0)
+	_, a1 := hier.Transit(0, 4, n, 0)
+	_, a2 := hier.Transit(1, 5, n, 0)
+	_, f2 := flat.Transit(1, 5, n, 0)
+	if f2 != soloArr {
+		t.Fatalf("crossbar flows should be independent: %v vs %v", f2, soloArr)
+	}
+	if a2 <= a1 {
+		t.Fatalf("second flow should queue behind the first on the shared spine: a1=%v a2=%v", a1, a2)
+	}
+}
+
+// TestTopologyValidate rejects underspecified hierarchies.
+func TestTopologyValidate(t *testing.T) {
+	if err := (Topology{}).Validate(); err != nil {
+		t.Fatalf("trivial topology must validate: %v", err)
+	}
+	if err := (Topology{RackSize: 4}).Validate(); err == nil {
+		t.Fatal("racks without spine stages must be rejected")
+	}
+	if err := (Topology{RackSize: 4, SpineStages: 1}).Validate(); err == nil {
+		t.Fatal("stages without switches must be rejected")
+	}
+}
+
+// TestRackOf maps hosts to racks and counts racks.
+func TestRackOf(t *testing.T) {
+	topo := Topology{RackSize: 4, SpineStages: 1, SpinesPerStage: 1}
+	if r := topo.RackOf(0); r != 0 {
+		t.Fatalf("RackOf(0)=%d", r)
+	}
+	if r := topo.RackOf(7); r != 1 {
+		t.Fatalf("RackOf(7)=%d", r)
+	}
+	if n := topo.Racks(9); n != 3 {
+		t.Fatalf("Racks(9)=%d", n)
+	}
+	if n := (Topology{}).Racks(64); n != 1 {
+		t.Fatalf("trivial Racks(64)=%d", n)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"cmpi/internal/core"
 	"cmpi/internal/fault"
+	"cmpi/internal/ib"
 	"cmpi/internal/perf"
 	"cmpi/internal/trace"
 )
@@ -62,6 +63,13 @@ type Options struct {
 	// ErrHandler selects the job's reaction to channel failures under fault
 	// injection. The zero value is ErrorsAreFatal, the MPI default.
 	ErrHandler ErrorHandler
+	// Topology is the fabric's switching hierarchy (racks and fat-tree spine
+	// stages). The zero value is the paper's testbed: one non-blocking
+	// crossbar, byte-identical to the runtime before topology existed. A
+	// non-trivial topology adds per-hop latency and per-spine contention to
+	// inter-rack transfers; spine switches are shared across hosts, so such
+	// worlds run under serialized dispatch exactly like fault-injected ones.
+	Topology ib.Topology
 	// FootprintDecay controls how many epochs a released pair claim lingers
 	// in a rank's dispatch footprint before adaptive decay may drop it (see
 	// Rank.footprint). Zero — the default — reads CMPI_FOOTPRINT_DECAY from
@@ -126,6 +134,9 @@ func (o *Options) Validate() error {
 	}
 	if o.Params.CopyBWIntraSocket <= 0 || o.Params.IBBWInter <= 0 {
 		return fmt.Errorf("mpi options: perf params not initialized (use perf.Default())")
+	}
+	if err := o.Topology.Validate(); err != nil {
+		return fmt.Errorf("mpi options: %w", err)
 	}
 	return nil
 }

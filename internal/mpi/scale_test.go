@@ -1,0 +1,146 @@
+package mpi
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"cmpi/internal/ib"
+	"cmpi/internal/sim"
+)
+
+var scaleTestTopo = ib.Topology{RackSize: 4, SpineStages: 2, SpinesPerStage: 4, HopLatency: 150 * sim.Nanosecond}
+
+func runScaleEngine(t *testing.T, o ScaleOptions, flat bool) (*ScaleResult, []string) {
+	t.Helper()
+	var emitted []string
+	f := flat
+	o.Flat = &f
+	o.Emit = func(p any) { emitted = append(emitted, fmt.Sprint(p)) }
+	res, err := RunScale(o)
+	if err != nil {
+		t.Fatalf("RunScale(flat=%v): %v", flat, err)
+	}
+	if res.Flat != flat {
+		t.Fatalf("engine mismatch: asked flat=%v got %v", flat, res.Flat)
+	}
+	return res, emitted
+}
+
+// TestScaleEnginesAgree: every algorithm completes at the same virtual time
+// with byte-identical emissions on the flat and goroutine engines.
+func TestScaleEnginesAgree(t *testing.T) {
+	cases := []struct {
+		name string
+		o    ScaleOptions
+	}{
+		{"ring", ScaleOptions{Ranks: 48, RanksPerHost: 48, Algo: ScaleRing, Bytes: 1 << 16, Iters: 2}},
+		{"rd", ScaleOptions{Ranks: 64, RanksPerHost: 64, Algo: ScaleRD, Bytes: 1 << 16, Iters: 2}},
+		{"hier", ScaleOptions{Ranks: 256, RanksPerHost: 16, Algo: ScaleHier, Bytes: 1 << 16, Iters: 2, Topology: scaleTestTopo}},
+		{"hier-trivial", ScaleOptions{Ranks: 128, RanksPerHost: 16, Algo: ScaleHier, Bytes: 1 << 16, Iters: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fRes, fEm := runScaleEngine(t, tc.o, true)
+			gRes, gEm := runScaleEngine(t, tc.o, false)
+			if fRes.Time != gRes.Time {
+				t.Fatalf("completion diverged: flat %v vs goroutine %v", fRes.Time, gRes.Time)
+			}
+			if !reflect.DeepEqual(fEm, gEm) {
+				t.Fatalf("emissions diverged:\nflat:      %v\ngoroutine: %v", fEm, gEm)
+			}
+			if fRes.Time <= 0 {
+				t.Fatalf("degenerate completion time %v", fRes.Time)
+			}
+		})
+	}
+}
+
+// TestScaleFlatMemoryRatio: the accounted peak per-proc bytes of a 2048-rank
+// flat world are at least 10x below the goroutine engine's floor. The
+// accounting is deterministic (structure sizes, not allocator behavior), so
+// this is a hard gate, not a flaky measurement.
+func TestScaleFlatMemoryRatio(t *testing.T) {
+	o := ScaleOptions{Ranks: 2048, RanksPerHost: 32, Algo: ScaleHier, Bytes: 1 << 12, Topology: scaleTestTopo}
+	fRes, _ := runScaleEngine(t, o, true)
+	gRes, _ := runScaleEngine(t, o, false)
+	if fRes.Time != gRes.Time {
+		t.Fatalf("completion diverged: flat %v vs goroutine %v", fRes.Time, gRes.Time)
+	}
+	fPeak, gPeak := fRes.Sim.PeakProcBytes, gRes.Sim.PeakProcBytes
+	if fPeak == 0 || gPeak == 0 {
+		t.Fatalf("missing accounting: flat=%d goroutine=%d", fPeak, gPeak)
+	}
+	if gPeak < 10*fPeak {
+		t.Fatalf("flat engine peak %d B not 10x below goroutine peak %d B (ratio %.1f)",
+			fPeak, gPeak, float64(gPeak)/float64(fPeak))
+	}
+	if fRes.Sim.ArenaUtilization <= 0 || fRes.Sim.ArenaUtilization > 1 {
+		t.Fatalf("arena utilization out of range: %v", fRes.Sim.ArenaUtilization)
+	}
+	if gRes.Sim.ArenaUtilization != 0 {
+		t.Fatalf("goroutine run reported arena utilization %v", gRes.Sim.ArenaUtilization)
+	}
+}
+
+// TestScaleHierBeatsRingOnFatTree: in the latency-bound regime the
+// hierarchical algorithm's shallow tree (host fan-in, rack fan-in, short
+// leader ring) finishes ahead of the rank ring's 2(P-1) sequential steps.
+// (For bandwidth-bound payloads ring wins, as the classical crossover says —
+// the proxy reproduces both sides.)
+func TestScaleHierBeatsRingOnFatTree(t *testing.T) {
+	base := ScaleOptions{Ranks: 512, RanksPerHost: 32, Bytes: 1 << 12, Topology: scaleTestTopo}
+	ring := base
+	ring.Algo = ScaleRing
+	hier := base
+	hier.Algo = ScaleHier
+	rRes, _ := runScaleEngine(t, ring, true)
+	hRes, _ := runScaleEngine(t, hier, true)
+	if hRes.Time >= rRes.Time {
+		t.Fatalf("hier (%v) should beat ring (%v) on a fat tree with 32 ranks/host", hRes.Time, rRes.Time)
+	}
+}
+
+// TestScaleAutoSelection: auto resolves to hier with locality, rd for flat
+// power-of-two worlds, ring otherwise.
+func TestScaleAutoSelection(t *testing.T) {
+	cases := []struct {
+		o    ScaleOptions
+		want ScaleAlgo
+	}{
+		{ScaleOptions{Ranks: 256, RanksPerHost: 16}, ScaleHier},
+		{ScaleOptions{Ranks: 64, RanksPerHost: 64}, ScaleRD},
+		{ScaleOptions{Ranks: 48, RanksPerHost: 48}, ScaleRing},
+	}
+	for _, tc := range cases {
+		res, err := RunScale(tc.o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Algo != tc.want {
+			t.Fatalf("Ranks=%d RPH=%d resolved %v, want %v", tc.o.Ranks, tc.o.RanksPerHost, res.Algo, tc.want)
+		}
+	}
+	if _, err := RunScale(ScaleOptions{Ranks: 48, RanksPerHost: 48, Algo: ScaleRD}); err == nil {
+		t.Fatal("recursive doubling must reject non-power-of-two rank counts")
+	}
+	if _, err := RunScale(ScaleOptions{Ranks: 0}); err == nil {
+		t.Fatal("zero ranks must be rejected")
+	}
+}
+
+// TestScaleSingletons: degenerate worlds (one rank; one host) terminate.
+func TestScaleSingletons(t *testing.T) {
+	for _, o := range []ScaleOptions{
+		{Ranks: 1, RanksPerHost: 1, Algo: ScaleRing},
+		{Ranks: 1, RanksPerHost: 1, Algo: ScaleRD},
+		{Ranks: 1, RanksPerHost: 1, Algo: ScaleHier},
+		{Ranks: 8, RanksPerHost: 8, Algo: ScaleHier},
+	} {
+		for _, flat := range []bool{true, false} {
+			if res, _ := runScaleEngine(t, o, flat); res.Time < 0 {
+				t.Fatalf("%v flat=%v: negative time", o, flat)
+			}
+		}
+	}
+}

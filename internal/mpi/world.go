@@ -138,7 +138,14 @@ func NewWorld(d *cluster.Deployment, opts Options) (*World, error) {
 			ps.lo, ps.hi = lo, hi
 		}
 	}
+	// Machine execution mode for this world size (CMPI_SIM_ENGINE override).
+	// Rank bodies are blocking functions and always run on goroutines; the
+	// mode matters for machine-based procs sharing the engine.
+	w.Eng.SetFlat(sim.FlatFromEnv(d.Size()))
 	w.fabric = ib.NewFabric(w.Eng, &w.Opts.Params, d.Cluster)
+	if err := w.fabric.SetTopology(opts.Topology); err != nil {
+		return nil, err
+	}
 	inj, err := fault.NewInjector(opts.FaultPlan, d.Cluster.Spec.Hosts, d.Size())
 	if err != nil {
 		return nil, err
@@ -189,7 +196,10 @@ func (w *World) Run(body func(r *Rank) error) error {
 	// (which also keeps Eng.Now()-based fault timestamps exact). Tracing does
 	// NOT serialize: records ride the engine's emitter, buffered per epoch
 	// group and flushed in deterministic (t, group, seq) commit order.
-	w.parallel = w.inj == nil
+	// (which also keeps Eng.Now()-based fault timestamps exact.) Non-trivial
+	// fabric topologies serialize too: spine-switch next-free state is shared
+	// across hosts, outside any rank-pair footprint.
+	w.parallel = w.inj == nil && w.Opts.Topology.Trivial()
 	for i := range w.ranks {
 		r := w.ranks[i]
 		p := w.Eng.Go(fmt.Sprintf("rank%d", r.rank), func(p *sim.Proc) {
@@ -370,7 +380,16 @@ func (w *World) SimStats() profile.SimStats {
 		oc.Hits += o.Hits
 	}
 	fc := w.fabric.PoolCounters()
-	return profile.SimStats{
+	ps := simStatsOf(es)
+	ps.BufPool = core.PoolCounters{Gets: bc.Gets + fc.Gets, Hits: bc.Hits + fc.Hits}
+	ps.ObjPool = oc
+	return ps
+}
+
+// simStatsOf maps engine counters onto the profiler's SimStats (pool counters
+// are filled in by the caller, which knows where its pools live).
+func simStatsOf(es sim.Stats) profile.SimStats {
+	s := profile.SimStats{
 		Dispatched:      es.Dispatched,
 		StaleWakes:      es.StaleWakes,
 		CoalescedWakes:  es.CoalescedWakes,
@@ -381,9 +400,12 @@ func (w *World) SimStats() profile.SimStats {
 		RegroupYields:   es.RegroupYields,
 		NarrowedPairs:   es.NarrowedPairs,
 		PhaseRewidens:   es.PhaseRewidens,
-		BufPool:         core.PoolCounters{Gets: bc.Gets + fc.Gets, Hits: bc.Hits + fc.Hits},
-		ObjPool:         oc,
+		PeakProcBytes:   es.PeakProcBytes,
 	}
+	if es.ArenaSlots > 0 {
+		s.ArenaUtilization = float64(es.ArenaPeakLive) / float64(es.ArenaSlots)
+	}
+	return s
 }
 
 // MaxBodyTime is the longest per-rank span between the post-init barrier

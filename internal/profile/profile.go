@@ -148,6 +148,15 @@ type SimStats struct {
 	// phase-change detector, retiring stale footprints eagerly so the new
 	// communication pattern re-widens without waiting out the decay window.
 	PhaseRewidens uint64
+	// PeakProcBytes is the engine's accounting of peak live per-process
+	// overhead: facade plus machine state for flat procs, plus the goroutine
+	// stack/descriptor/channel floor for goroutine-backed ones. Deterministic
+	// (it counts structures, not allocator behavior), so flat-vs-goroutine
+	// ratios are comparable run to run.
+	PeakProcBytes uint64
+	// ArenaUtilization is peak live flat procs over allocated arena slots
+	// (zero when no machine ran flat).
+	ArenaUtilization float64
 	// BufPool aggregates the byte-buffer pools (runtime staging plus fabric
 	// wire snapshots).
 	BufPool core.PoolCounters

@@ -60,6 +60,15 @@ type Engine struct {
 	poolSize int
 	poolWork *epochWork
 
+	// Flat machine execution state (flat.go): flat selects the mode for
+	// GoMachine spawns, arena holds flat procs in fixed-capacity slabs,
+	// arenaLive counts flat procs not yet done, liveProcBytes is the current
+	// per-proc overhead account (peak recorded in stats).
+	flat          bool
+	arena         [][]Proc
+	arenaLive     int
+	liveProcBytes uint64
+
 	// emit, when installed, receives observer payloads (trace records) in
 	// deterministic order: dispatch order under the sequential loop, commit
 	// order — (t, group index, group-local seq), flushed at each epoch
@@ -118,6 +127,19 @@ type Stats struct {
 	// phase-change threshold, letting the next formation retire stale
 	// footprint state eagerly instead of waiting out the decay window.
 	PhaseRewidens uint64
+	// PeakProcBytes is the high-water mark of per-process overhead bytes, as
+	// accounted by the engine: the Proc facade plus machine state for flat
+	// procs, plus a goroutine stack/descriptor/channel floor for
+	// goroutine-backed ones (see flat.go). Deterministic — it counts data
+	// structures, not allocator behavior — so it is comparable across engines
+	// and identical for any dispatch width.
+	PeakProcBytes uint64
+	// ArenaSlots is the total flat-proc arena capacity allocated (slots, not
+	// bytes); zero when no machine ran flat.
+	ArenaSlots int
+	// ArenaPeakLive is the peak number of live flat procs; the ratio
+	// ArenaPeakLive/ArenaSlots is the arena utilization.
+	ArenaPeakLive int
 }
 
 // Stats returns a snapshot of scheduler counters.
@@ -299,15 +321,19 @@ func (e *Engine) schedule(ev event) {
 // engine has handed it control, so process code never races with other
 // processes or with scheduler callbacks. Spawn before Run.
 func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
+	pair := getChanPair()
 	p := &Proc{
 		eng:    e,
 		id:     len(e.procs),
 		name:   name,
 		now:    e.now,
 		state:  stateScheduled,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
+		chans:  pair,
+		resume: pair.resume,
+		yield:  pair.yield,
 	}
+	p.cost = uint32(procBytes + goroutineOverheadBytes)
+	e.chargeProc(p)
 	e.procs = append(e.procs, p)
 	go func() {
 		<-p.resume
@@ -422,11 +448,12 @@ func (e *Engine) runSequential() {
 		if p.now < ev.t {
 			p.now = ev.t
 		}
-		p.state = stateRunning
-		p.resume <- struct{}{}
-		<-p.yield
+		e.resumeProc(p, nil)
 		if p.panicked != nil {
 			e.Fail(p.panicked)
+		}
+		if p.state == stateDone {
+			e.releaseProc(p, nil)
 		}
 	}
 }

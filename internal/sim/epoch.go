@@ -79,6 +79,11 @@ type execGroup struct {
 	// failure is the group's first failure and the virtual time it happened.
 	failure error
 	failAt  Time
+	// releasedBytes/releasedProcs buffer proc retirements (releaseProc) so
+	// the engine-level live accounting is only touched at commit, in
+	// scheduler context.
+	releasedBytes uint64
+	releasedProcs int
 }
 
 // emitRec is one buffered emission: the payload plus the (t, seq) key that
@@ -140,13 +145,13 @@ func (g *execGroup) run() {
 		if p.now < ev.t {
 			p.now = ev.t
 		}
-		p.state = stateRunning
-		p.group = g
-		p.resume <- struct{}{}
-		<-p.yield
+		e.resumeProc(p, g)
 		if p.panicked != nil {
 			g.fail(p.panicked)
 			e.stopped.Store(true)
+		}
+		if p.state == stateDone {
+			e.releaseProc(p, g)
 		}
 	}
 	// Whatever remains carries over to the next epoch via commit.
@@ -332,8 +337,12 @@ func (e *Engine) dispatchPool(groups []*execGroup, workers int) {
 	}
 	for e.poolSize < workers-1 {
 		e.poolSize++
+		// Capture the channel value: a worker spawned in the run's final epoch
+		// may not receive anything before stopPool nils the field, and reading
+		// e.pool from the goroutine would race with that write.
+		pool := e.pool
 		go func() {
-			for w := range e.pool {
+			for w := range pool {
 				w.drain()
 				w.wg.Done()
 			}
@@ -375,6 +384,8 @@ func (e *Engine) commitEpoch(ep *epochState) {
 		e.stats.CoalescedWakes += g.stats.CoalescedWakes
 		yields += g.stats.RegroupYields
 		depth += g.pq.maxDepth
+		e.liveProcBytes -= g.releasedBytes
+		e.arenaLive -= g.releasedProcs
 		// Earliest failure wins, by (virtual time, group index) — an order
 		// independent of worker scheduling.
 		if g.failure != nil && (e.failure == nil || g.failAt < e.failureAt) {

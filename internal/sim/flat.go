@@ -1,0 +1,302 @@
+package sim
+
+// Flat execution mode: continuation state machines instead of goroutines.
+//
+// The legacy engine gives every simulated process its own goroutine plus a
+// resume/yield channel pair; handing control over is two channel operations
+// and a scheduler round-trip, and every process costs at least a 2 KiB stack
+// span before it has done anything. That is fine for hundreds of ranks and
+// ruinous for hundreds of thousands.
+//
+// A Machine is the flat alternative: the process is a step function over
+// explicit state. The dispatch loop calls Step directly — no goroutine, no
+// channels, no stack — and the Proc facade (Sleep/Park/UnparkAt/SetRes/Emit)
+// works unchanged on top. One Step may invoke at most one blocking primitive
+// (Sleep, Park, Advance-that-would-yield is therefore forbidden — machine
+// Advance is always a pure clock bump — or YieldRegroup), and that call must
+// be the machine's last action before returning More: in flat mode the
+// primitive cannot suspend the caller, it only records where to resume, so
+// anything executed after it would run "before its time". Flat mode panics on
+// contract violations instead of silently diverging; the same machine run on
+// the goroutine engine (SetFlat(false)) blocks for real inside the primitive,
+// which is what makes A/B comparisons between the engines meaningful.
+//
+// Flat procs are arena-allocated in fixed-size slabs owned by the engine, so
+// a million-rank world is a handful of large allocations instead of a million
+// tiny ones, and Stats can report arena utilization exactly.
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"runtime/debug"
+	"sync"
+)
+
+// Flow is a Machine step verdict: More keeps the machine alive (it either
+// blocked via a Proc primitive or wants another immediate step), Done retires
+// it.
+type Flow uint8
+
+const (
+	// More: the machine has further steps. If the step called a blocking
+	// primitive the machine sleeps until the corresponding wake; otherwise it
+	// is stepped again immediately.
+	More Flow = iota
+	// Done: the machine's body is complete.
+	Done
+)
+
+// Machine is a simulated process written as a continuation state machine:
+// Step is called with the process facade each time the process runs, and the
+// machine's own fields carry state between steps. See the package comment
+// above for the blocking contract. Machines run on either engine — spawn with
+// Engine.GoMachine; Engine.SetFlat selects the execution mode.
+type Machine interface {
+	Step(p *Proc) Flow
+}
+
+// DefaultFlatThreshold is the world size at or above which FlatFromEnv picks
+// the flat engine when CMPI_SIM_ENGINE does not force a choice.
+const DefaultFlatThreshold = 1024
+
+// FlatFromEnv reports whether a world of the given size should run machines
+// flat: the CMPI_SIM_ENGINE environment variable ("flat" or "goroutine")
+// wins, else worlds of DefaultFlatThreshold ranks or more go flat. Engine
+// choice never changes simulated results — only host memory and wall-clock.
+func FlatFromEnv(worldSize int) bool {
+	switch os.Getenv("CMPI_SIM_ENGINE") {
+	case "flat":
+		return true
+	case "goroutine":
+		return false
+	}
+	return worldSize >= DefaultFlatThreshold
+}
+
+// SetFlat selects the execution mode for machines spawned after the call:
+// flat (arena-allocated, stepped directly by the dispatch loops) or goroutine
+// (each machine on its own trampoline goroutine, exactly like Go bodies).
+// Blocking Go bodies always use goroutines regardless of mode. Call before
+// spawning.
+func (e *Engine) SetFlat(on bool) { e.flat = on }
+
+// Flat reports the current machine execution mode.
+func (e *Engine) Flat() bool { return e.flat }
+
+// GoMachine spawns a simulated process driven by a continuation state
+// machine, starting at the current virtual time. In flat mode (SetFlat) the
+// process costs one arena slot and no goroutine; otherwise it runs on a
+// goroutine trampoline with semantics identical to Go. Spawn before Run.
+func (e *Engine) GoMachine(name string, m Machine) *Proc {
+	var p *Proc
+	cost := procBytes + machineBytes(m)
+	if e.flat {
+		p = e.arenaAlloc()
+		p.eng = e
+		p.id = len(e.procs)
+		p.name = name
+		p.now = e.now
+		p.state = stateScheduled
+		p.fm = m
+		p.flat = true
+		e.arenaLive++
+		if e.arenaLive > e.stats.ArenaPeakLive {
+			e.stats.ArenaPeakLive = e.arenaLive
+		}
+	} else {
+		pair := getChanPair()
+		p = &Proc{
+			eng:    e,
+			id:     len(e.procs),
+			name:   name,
+			now:    e.now,
+			state:  stateScheduled,
+			fm:     m,
+			chans:  pair,
+			resume: pair.resume,
+			yield:  pair.yield,
+		}
+		cost += goroutineOverheadBytes
+		go machineTrampoline(p, m)
+	}
+	p.cost = uint32(cost)
+	e.chargeProc(p)
+	e.procs = append(e.procs, p)
+	e.seq++
+	p.timerSeq = e.seq
+	e.pq.push(event{t: e.now, seq: e.seq, proc: p, timer: true})
+	return p
+}
+
+// machineTrampoline runs a machine on its own goroutine: the same blocking
+// semantics as a Go body, with the machine's Step in place of the body. Used
+// when the engine is not in flat mode, so flat-vs-goroutine comparisons run
+// the exact same machine code.
+func machineTrampoline(p *Proc, m Machine) {
+	<-p.resume
+	defer func() {
+		if r := recover(); r != nil {
+			if abort, ok := r.(engineAbort); ok {
+				p.panicked = abort.err
+			} else {
+				p.panicked = fmt.Errorf("proc %q panicked: %v\n%s", p.name, r, debug.Stack())
+			}
+		}
+		p.state = stateDone
+		p.yield <- struct{}{}
+	}()
+	for m.Step(p) == More {
+	}
+}
+
+// runMachine steps a flat machine until it blocks or finishes. It is the flat
+// counterpart of the resume-handshake: called from the dispatch loops with
+// p.state == stateRunning, it returns with the process either blocked (a
+// primitive recorded the continuation) or done. Panics — including
+// Fatalf/Fail aborts — are converted to p.panicked exactly as the goroutine
+// spawn wrapper does.
+func (p *Proc) runMachine() {
+	defer func() {
+		if r := recover(); r != nil {
+			if abort, ok := r.(engineAbort); ok {
+				p.panicked = abort.err
+			} else {
+				p.panicked = fmt.Errorf("proc %q panicked: %v\n%s", p.name, r, debug.Stack())
+			}
+			p.state = stateDone
+		}
+	}()
+	for {
+		p.blocked = false
+		if p.fm.Step(p) == Done {
+			p.state = stateDone
+			return
+		}
+		if p.blocked {
+			return
+		}
+	}
+}
+
+// resumeProc hands control to p until it blocks again: the channel handshake
+// for goroutine-backed procs, a direct runMachine call for flat ones. g is
+// the epoch group running the proc (nil under sequential dispatch). The
+// caller checks p.panicked and releases the proc if it finished.
+func (e *Engine) resumeProc(p *Proc, g *execGroup) {
+	p.state = stateRunning
+	p.group = g
+	if p.flat {
+		p.runMachine()
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// releaseProc retires a finished process's recyclable state: the channel pair
+// returns to the pool, the machine and footprint cache are dropped, and the
+// proc's byte cost leaves the live-bytes account. Called by the dispatch
+// loops the moment they observe stateDone — safe because a done proc is never
+// resumed again (wantsWake) and the spawn wrapper's final yield send was its
+// last touch of the channels. Inside an epoch group the accounting is
+// buffered group-locally and merged at commit, keeping group execution free
+// of shared writes.
+func (e *Engine) releaseProc(p *Proc, g *execGroup) {
+	if p.chans != nil {
+		putChanPair(p.chans)
+		p.chans = nil
+		p.resume = nil
+		p.yield = nil
+	}
+	p.fm = nil
+	p.fpCache = nil
+	if g != nil {
+		g.releasedBytes += uint64(p.cost)
+		if p.flat {
+			g.releasedProcs++
+		}
+		return
+	}
+	e.liveProcBytes -= uint64(p.cost)
+	if p.flat {
+		e.arenaLive--
+	}
+}
+
+// chargeProc adds a newly spawned process's byte cost to the live account and
+// updates the peak. Spawns happen in scheduler or setup context, never inside
+// concurrent group execution.
+func (e *Engine) chargeProc(p *Proc) {
+	e.liveProcBytes += uint64(p.cost)
+	if e.liveProcBytes > e.stats.PeakProcBytes {
+		e.stats.PeakProcBytes = e.liveProcBytes
+	}
+}
+
+// Per-process byte accounting. The goroutine numbers are a deliberate floor —
+// a real goroutine's stack starts at one 2 KiB span and only grows, and the
+// runtime g descriptor and two unbuffered channels are measured from the Go
+// runtime's own struct sizes — so the flat-vs-goroutine ratio the engine
+// reports understates the real advantage rather than flattering it.
+const (
+	// goroutineStackBytes is Go's minimum stack span per goroutine.
+	goroutineStackBytes = 2048
+	// goroutineDescBytes approximates the runtime g descriptor.
+	goroutineDescBytes = 416
+	// chanPairBytes is two unbuffered struct{} channels (hchan headers).
+	chanPairBytes = 192
+
+	goroutineOverheadBytes = goroutineStackBytes + goroutineDescBytes + chanPairBytes
+)
+
+// procBytes is the facade struct itself, charged to every process kind.
+var procBytes = int(reflect.TypeOf(Proc{}).Size())
+
+// machineBytes is the machine state a process carries: the pointee size for
+// pointer machines (the common case), the value size otherwise. Charged to
+// machines on both engines — the state exists either way.
+func machineBytes(m Machine) int {
+	t := reflect.TypeOf(m)
+	if t == nil {
+		return 0
+	}
+	if t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	return int(t.Size())
+}
+
+// arenaSlab is the flat-proc arena slab size: large enough that a 4096-rank
+// world is four allocations, small enough that modest flat worlds do not
+// strand much memory.
+const arenaSlab = 1024
+
+// arenaAlloc returns the next free slot in the engine's flat-proc arena,
+// growing it by one slab when full. Slab capacity never changes after
+// allocation, so returned pointers are stable.
+func (e *Engine) arenaAlloc() *Proc {
+	if n := len(e.arena); n == 0 || len(e.arena[n-1]) == cap(e.arena[n-1]) {
+		e.arena = append(e.arena, make([]Proc, 0, arenaSlab))
+		e.stats.ArenaSlots += arenaSlab
+	}
+	slab := &e.arena[len(e.arena)-1]
+	*slab = append(*slab, Proc{})
+	return &(*slab)[len(*slab)-1]
+}
+
+// chanPair is a pooled resume/yield channel pair. Unbuffered channels carry
+// no state between uses, so a pair whose owner finished (the done handshake
+// is the spawn wrapper's last channel touch) is safe to hand to the next
+// spawn.
+type chanPair struct {
+	resume chan struct{}
+	yield  chan struct{}
+}
+
+var chanPairPool = sync.Pool{New: func() any {
+	return &chanPair{resume: make(chan struct{}), yield: make(chan struct{})}
+}}
+
+func getChanPair() *chanPair  { return chanPairPool.Get().(*chanPair) }
+func putChanPair(c *chanPair) { chanPairPool.Put(c) }

@@ -49,6 +49,18 @@ type Proc struct {
 	yield    chan struct{}
 	panicked error
 
+	// Machine execution state (flat.go): fm is the continuation machine (nil
+	// for blocking Go bodies), flat marks procs stepped directly by the
+	// dispatch loops (no goroutine, no channels), blocked records that the
+	// current flat step invoked its one blocking primitive. chans is the
+	// pooled channel pair backing resume/yield (nil for flat procs), and cost
+	// is the engine's byte accounting for this proc (Stats.PeakProcBytes).
+	fm      Machine
+	flat    bool
+	blocked bool
+	cost    uint32
+	chans   *chanPair
+
 	// lastWakeAt / lastWakeLive track the most recently queued Unpark event
 	// so duplicate wakes for the same virtual time can be coalesced instead
 	// of queued. The live flag drops when that wake leaves the queue: a wake
@@ -136,6 +148,7 @@ func (p *Proc) YieldRegroup() {
 // deterministic (t, group index, group-local seq) order; under sequential
 // dispatch it is forwarded immediately. A no-op without an emitter.
 func (p *Proc) Emit(payload any) {
+	p.checkStep("Emit")
 	e := p.eng
 	if e.emit == nil {
 		return
@@ -160,6 +173,16 @@ func (p *Proc) Now() Time { return p.now }
 // Engine returns the scheduling engine that owns this process.
 func (p *Proc) Engine() *Engine { return p.eng }
 
+// checkStep panics when a flat machine touches the facade after its step
+// already blocked — code after the blocking primitive would execute before
+// the wake's virtual time on the flat engine but after it on the goroutine
+// engine, silently diverging. Free for every other proc kind.
+func (p *Proc) checkStep(op string) {
+	if p.flat && p.blocked {
+		panic(fmt.Sprintf("proc %q: %s after the step's blocking primitive (flat-mode contract: block last)", p.name, op))
+	}
+}
+
 // wantsWake reports whether a popped proc event is a live wake for p.
 // Scheduled processes accept only their own timer; parked processes accept
 // only unparks (any stale timer must predate the park); running/done drop
@@ -177,7 +200,17 @@ func (p *Proc) wantsWake(ev event) bool {
 
 // switchOut hands control back to the scheduler and blocks until resumed.
 // The caller must have already set p.state and scheduled/arranged a wake.
+// Flat machines cannot be suspended mid-step: the continuation is the next
+// Step call, so switchOut only records that the step blocked — which is why a
+// machine step may block at most once, as its last action (see flat.go).
 func (p *Proc) switchOut() {
+	if p.flat {
+		if p.blocked {
+			panic(fmt.Sprintf("proc %q: machine blocked twice in one step (flat-mode contract: one blocking primitive per step, as the last action)", p.name))
+		}
+		p.blocked = true
+		return
+	}
 	p.yield <- struct{}{}
 	<-p.resume
 }
@@ -189,6 +222,16 @@ func (p *Proc) switchOut() {
 func (p *Proc) Advance(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("proc %q: Advance(%v) with negative duration", p.name, d))
+	}
+	if p.fm != nil {
+		// Machines: always a pure clock bump, on both engines. The yielding
+		// slow path below would block mid-step in flat mode, and whether it
+		// triggers depends on heap occupancy — letting it run only on the
+		// goroutine engine would break flat-vs-goroutine identity. Machines
+		// that want a yielding wait must use Sleep.
+		p.checkStep("Advance")
+		p.now += d
+		return
 	}
 	target := p.now + d
 	if g := p.group; g != nil {
