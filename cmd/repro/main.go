@@ -13,6 +13,7 @@
 //	repro -bench-smoke                 # dispatch-width regression gate
 //	repro -ranks 4096                  # scale-proxy allreduce on both engines
 //	repro -scale-smoke                 # flat-engine scale gate (4096 ranks)
+//	repro -fidelity-smoke              # full-fidelity 1024-rank machine-body gate
 //	repro -trace-out golden.trace      # record the canonical trace job
 //	repro -replay golden.trace         # reconstruct counters from a trace
 //	repro -trace-diff A.trace B.trace  # first divergent record, if any
@@ -23,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"runtime"
@@ -48,11 +50,13 @@ func main() {
 	benchOut := flag.String("bench-out", "", "write a host-time benchmark snapshot (JSON) to this file and exit")
 	benchSmoke := flag.Bool("bench-smoke", false, "quick dispatch-width regression gate: fail unless the 64-rank allreduce (1 KiB at widths 2/4/8/N, 1 MiB at width N) keeps up with width 1 (10% tolerance)")
 	traceOut := flag.String("trace-out", "", "record the canonical trace job to this file and exit")
+	traceJob := flag.String("trace-job", "golden", "trace job for -trace-out: golden (16 ranks, trivial topology) or fattree (32 ranks on a 2-rack fat tree)")
 	replay := flag.String("replay", "", "replay a recorded trace: reconstruct and print its counters, then exit")
 	traceDiff := flag.Bool("trace-diff", false, "compare the two trace files given as arguments; exit 1 on divergence")
 	faultSeed := flag.Int64("fault-seed", -1, "run the seeded chaos harness: fault.RandomPlan(seed) plus a crash, ddmin-shrunk to the minimal failing repro")
 	ranks := flag.Int("ranks", 0, "run the scale-proxy allreduce at this many ranks on both simulator engines and report time/memory")
 	scaleSmoke := flag.Bool("scale-smoke", false, "flat-engine scale gate: the 4096-rank allreduce must complete, agree with the goroutine engine, and use >=10x less accounted per-proc memory")
+	fidelitySmoke := flag.Bool("fidelity-smoke", false, "full-fidelity scale gate: a real (non-proxy) 1024-rank world with machine-native rank bodies must complete on the flat engine with a >=5x accounted memory advantage over goroutine bodies")
 	flag.Parse()
 
 	if *list {
@@ -96,8 +100,15 @@ func main() {
 		}
 		return
 	}
+	if *fidelitySmoke {
+		if err := fidelitySmokeCheck(); err != nil {
+			fmt.Fprintf(os.Stderr, "fidelity-smoke: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *traceOut != "" {
-		if err := recordGolden(*traceOut); err != nil {
+		if err := recordGolden(*traceOut, *traceJob); err != nil {
 			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
 			os.Exit(1)
 		}
@@ -158,13 +169,22 @@ func main() {
 	run(e)
 }
 
-// recordGolden writes the canonical trace job's v1 trace to path.
-func recordGolden(path string) error {
+// recordGolden writes the selected golden trace job's v1 trace to path.
+func recordGolden(path, job string) error {
+	var rec func(io.Writer) error
+	switch job {
+	case "golden":
+		rec = experiments.GoldenTrace
+	case "fattree":
+		rec = experiments.GoldenTraceFatTree
+	default:
+		return fmt.Errorf("unknown trace job %q: want golden or fattree", job)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := experiments.GoldenTrace(f); err != nil {
+	if err := rec(f); err != nil {
 		f.Close()
 		return err
 	}
@@ -273,6 +293,14 @@ type benchSnapshot struct {
 	Scale1024Sec      float64 `json:"scale_allreduce_1024_sec"`
 	Scale4096Sec      float64 `json:"scale_allreduce_4096_sec"`
 	Scale4096MemRatio float64 `json:"scale_allreduce_4096_mem_ratio"`
+
+	// Full-fidelity 1024-rank point (no proxy: the real pt2pt protocol and
+	// collective selector over the scale fat tree): host seconds for
+	// machine-native rank bodies on the flat engine, and the accounted
+	// peak-proc-memory ratio of blocking goroutine bodies over flat machine
+	// bodies running the identical workload.
+	Fidelity1024FlatSec  float64 `json:"fidelity_allreduce_1024_flat_sec"`
+	Fidelity1024MemRatio float64 `json:"fidelity_allreduce_1024_mem_ratio"`
 }
 
 // scaleTopo is the fat tree the scale points run over (matches the ext-scale
@@ -349,6 +377,76 @@ func scaleSmokeCheck() error {
 	fmt.Printf("scale4096 accounted memory ratio: %.1fx\n", ratio)
 	if ratio < 10 {
 		return fmt.Errorf("flat engine memory advantage %.1fx, want >= 10x", ratio)
+	}
+	return nil
+}
+
+// Full-fidelity scale point: unlike the RunScale proxy above, this builds a
+// real 1024-rank containerized world on the scale fat tree and runs the
+// actual allreduce — eager/rendezvous pt2pt, the collective selector, spine
+// footprints — with machine-native rank bodies (World.RunMachine) or the
+// classic blocking goroutine bodies running the identical workload.
+const (
+	fidelityRanks = 1024
+	fidelityIters = 2
+	fidelityBytes = 1 << 10
+)
+
+// measureFidelity runs the full-fidelity point once and returns host seconds
+// plus engine stats. machine selects flat machine-native bodies; otherwise
+// blocking goroutine bodies run the same workload.
+func measureFidelity(machine bool) (float64, profile.SimStats, error) {
+	spec := cluster.Spec{Hosts: fidelityRanks / 16, SocketsPerHost: 2, CoresPerSocket: 12, HCAsPerHost: 1}
+	d, err := cluster.Containers(cluster.MustNew(spec), 2, fidelityRanks, cluster.PaperScenarioOpts())
+	if err != nil {
+		return 0, profile.SimStats{}, err
+	}
+	opts := mpi.DefaultOptions()
+	opts.Topology = scaleTopo
+	w, err := mpi.NewWorld(d, opts)
+	if err != nil {
+		return 0, profile.SimStats{}, err
+	}
+	w.Eng.SetFlat(machine)
+	start := time.Now()
+	if machine {
+		err = w.RunMachine(mpi.AllreduceProgram(fidelityIters, fidelityBytes))
+	} else {
+		err = w.Run(mpi.AllreduceWorkload(fidelityIters, fidelityBytes))
+	}
+	if err != nil {
+		return 0, profile.SimStats{}, err
+	}
+	return time.Since(start).Seconds(), w.SimStats(), nil
+}
+
+// fidelitySmokeCheck is the CI full-fidelity scale gate: the 1024-rank
+// machine-body world must complete on the flat engine (inside CI's
+// GOMEMLIMIT/timeout budget) and hold a >=5x accounted peak-proc-memory
+// advantage over blocking goroutine bodies. Virtual completion times are NOT
+// compared across body kinds: machine bodies execute their post-advance
+// continuations within one dispatch turn, which legitimately shifts
+// contended HCA interleavings (per-rank op multisets stay identical; see
+// docs/PERFORMANCE.md).
+func fidelitySmokeCheck() error {
+	fSec, fStats, err := measureFidelity(true)
+	if err != nil {
+		return fmt.Errorf("machine bodies (flat): %w", err)
+	}
+	gSec, gStats, err := measureFidelity(false)
+	if err != nil {
+		return fmt.Errorf("goroutine bodies: %w", err)
+	}
+	fmt.Printf("fidelity1024 flat machine bodies: %.2fs host, peak %d KiB accounted (arena %.0f%% utilized)\n",
+		fSec, fStats.PeakProcBytes/1024, fStats.ArenaUtilization*100)
+	fmt.Printf("fidelity1024 goroutine bodies:    %.2fs host, peak %d KiB accounted\n", gSec, gStats.PeakProcBytes/1024)
+	if fStats.PeakProcBytes == 0 || gStats.PeakProcBytes == 0 {
+		return fmt.Errorf("missing peak accounting: flat=%d goroutine=%d", fStats.PeakProcBytes, gStats.PeakProcBytes)
+	}
+	ratio := float64(gStats.PeakProcBytes) / float64(fStats.PeakProcBytes)
+	fmt.Printf("fidelity1024 accounted memory ratio: %.1fx\n", ratio)
+	if ratio < 5 {
+		return fmt.Errorf("full-fidelity memory advantage %.1fx, want >= 5x", ratio)
 	}
 	return nil
 }
@@ -587,6 +685,17 @@ func writeBenchSnapshot(path string) error {
 	} else {
 		snap.Scale4096MemRatio = float64(gRes.Sim.PeakProcBytes) / float64(scaleRes.Sim.PeakProcBytes)
 	}
+	fmt.Fprintln(os.Stderr, "full-fidelity 1024-rank point (machine vs goroutine bodies)...")
+	fSec, fStats, err := measureFidelity(true)
+	if err != nil {
+		return err
+	}
+	_, gStats, err := measureFidelity(false)
+	if err != nil {
+		return err
+	}
+	snap.Fidelity1024FlatSec = fSec
+	snap.Fidelity1024MemRatio = float64(gStats.PeakProcBytes) / float64(fStats.PeakProcBytes)
 	out, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err

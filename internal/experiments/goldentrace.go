@@ -4,7 +4,9 @@ import (
 	"io"
 
 	"cmpi/internal/cluster"
+	"cmpi/internal/ib"
 	"cmpi/internal/mpi"
+	"cmpi/internal/sim"
 	"cmpi/internal/trace"
 )
 
@@ -31,6 +33,34 @@ func GoldenTrace(out io.Writer) error {
 	// re-claimed pair can see delayed deliveries at the re-merge boundary),
 	// so the fixture is canonical for exactly one setting. Pinning keeps the
 	// fixture valid when CI sweeps CMPI_FOOTPRINT_DECAY across the matrix.
+	opts.FootprintDecay = mpi.DefaultFootprintDecay
+	opts.Record = trace.NewRecorder(out)
+	w, err := mpi.NewWorld(d, opts)
+	if err != nil {
+		return err
+	}
+	if err := w.Run(goldenWorkload); err != nil {
+		return err
+	}
+	return opts.Record.Err()
+}
+
+// GoldenTraceFatTree runs the frozen golden workload on a 4-host, 2-rack
+// fat-tree deployment (32 ranks, two containers per host) and streams its v1
+// trace to out. It is the non-trivial-topology companion fixture
+// (testdata/golden-fattree.trace): spine hop latency shifts every cross-rack
+// HCA record, and the spine resource footprints now let such a world dispatch
+// in parallel epochs, so this fixture guards both the topology cost model and
+// the spine-footprint dispatch path. Deterministic like GoldenTrace:
+// byte-identical at every dispatch width and under both engine settings.
+func GoldenTraceFatTree(out io.Writer) error {
+	c := cluster.MustNew(testbedSpec(4))
+	d, err := cluster.Containers(c, 2, 32, cluster.PaperScenarioOpts())
+	if err != nil {
+		return err
+	}
+	opts := mpi.DefaultOptions()
+	opts.Topology = ib.Topology{RackSize: 2, SpineStages: 1, SpinesPerStage: 2, HopLatency: 150 * sim.Nanosecond}
 	opts.FootprintDecay = mpi.DefaultFootprintDecay
 	opts.Record = trace.NewRecorder(out)
 	w, err := mpi.NewWorld(d, opts)

@@ -5,6 +5,7 @@ import (
 	"os"
 	"testing"
 
+	"cmpi/internal/core"
 	"cmpi/internal/trace"
 )
 
@@ -87,5 +88,52 @@ func TestGoldenTraceReplays(t *testing.T) {
 	}
 	if s.Rendezvous == 0 {
 		t.Error("golden job produced no rendezvous handshakes")
+	}
+}
+
+// TestGoldenTraceFatTreeMatchesFixture regenerates the non-trivial-topology
+// golden job — the 32-rank fat-tree point whose cross-rack records carry
+// spine hop latency and whose world dispatches under spine resource
+// footprints — and requires byte-identity with the committed fixture at
+// dispatch widths 1/2/4/8 under both engine settings. Regenerate with
+// `go run ./cmd/repro -trace-out internal/experiments/testdata/golden-fattree.trace
+// -trace-job fattree` when the schedule intentionally changes.
+func TestGoldenTraceFatTreeMatchesFixture(t *testing.T) {
+	fixture, err := os.ReadFile("testdata/golden-fattree.trace")
+	if err != nil {
+		t.Fatalf("fixture missing: %v", err)
+	}
+	for _, engine := range []string{"goroutine", "flat"} {
+		t.Setenv("CMPI_SIM_ENGINE", engine)
+		for _, width := range []string{"1", "2", "4", "8"} {
+			t.Setenv("CMPI_SIM_WORKERS", width)
+			var buf bytes.Buffer
+			if err := GoldenTraceFatTree(&buf); err != nil {
+				t.Fatalf("%s engine, width %s: GoldenTraceFatTree: %v", engine, width, err)
+			}
+			if !bytes.Equal(buf.Bytes(), fixture) {
+				t.Errorf("%s engine, width %s: trace bytes diverge from testdata/golden-fattree.trace", engine, width)
+			}
+		}
+	}
+}
+
+// TestGoldenTraceFatTreeReplays sanity-checks the fat-tree fixture: clean
+// replay and cross-rack HCA traffic actually present.
+func TestGoldenTraceFatTreeReplays(t *testing.T) {
+	fixture, err := os.ReadFile("testdata/golden-fattree.trace")
+	if err != nil {
+		t.Fatalf("fixture missing: %v", err)
+	}
+	tr, err := trace.Read(bytes.NewReader(fixture))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	s := trace.Replay(tr)
+	if s.Anomalies != 0 || s.UnmatchedSends != 0 {
+		t.Fatalf("fixture replay: %d anomalies, %d unmatched sends", s.Anomalies, s.UnmatchedSends)
+	}
+	if total := s.Total(); total.Ops[core.ChannelHCA] == 0 {
+		t.Error("fat-tree golden job carries no HCA traffic")
 	}
 }

@@ -37,8 +37,9 @@ type Fabric struct {
 
 	// topo is the switching hierarchy (topology.go); the zero value is the
 	// legacy single crossbar. spines holds next-free times per spine switch,
-	// indexed [stage][switch] — shared across hosts, so non-trivial
-	// topologies require serialized dispatch.
+	// indexed [stage][switch] — shared across hosts, and declarable as
+	// dispatch resources via SpineHops so epoch-parallel worlds can merge
+	// exactly the groups whose flows can meet at a spine.
 	topo   Topology
 	spines [][]sim.Time
 

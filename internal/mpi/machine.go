@@ -1,0 +1,949 @@
+package mpi
+
+// Machine-native rank bodies: the blocking Rank hot paths — eager and
+// rendezvous point-to-point over SHM/CMA/HCA, and the allreduce/barrier
+// collectives — as sim.Machine continuations, so full-fidelity worlds run on
+// the flat engine with no goroutine, stack, or channel handshake per rank.
+//
+// The step functions below mirror the blocking code in coll.go/pt2pt.go
+// action for action. Three primitives make that possible:
+//
+//   - isendPrep/isendDispatch (pt2pt.go) split isendCtx around its pair
+//     claim. A machine pre-claims between the two halves; if the claim had
+//     to regroup (Proc.Deferred), the machine returns sim.More and retries
+//     dispatch next epoch at the same virtual time — exactly when the
+//     blocking path's in-protocol claim resumes after YieldRegroup. On
+//     retry the protocol entry's own claimPair is a no-op (Request.hasClaim).
+//   - waitStep (rank.go) is one pass of the blocking waitUntil loop: park
+//     instead of looping, with the next step re-entering the loop exactly
+//     where Park would have returned.
+//   - receives (irecvCtx) never block the caller, so machines post them
+//     directly. A rendezvous match's claim (bindEnvelope) never regroups:
+//     the sender's still-live claim already merged the pair's groups.
+//
+// Every blocking primitive is the last action before its machine unwinds
+// with sim.More, so the flat engine's blocking-last-action contract holds;
+// running the same machine on the goroutine engine (CMPI_SIM_ENGINE=goroutine)
+// blocks for real inside the primitive with identical simulated results.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"reflect"
+
+	"cmpi/internal/core"
+	"cmpi/internal/sim"
+)
+
+// Program is a rank body written as a continuation machine: Step runs each
+// time the rank is dispatched and must return sim.More after invoking a
+// blocking primitive (which is always the last action of the helpers below),
+// sim.Done when the body is complete. State lives in the Program's fields;
+// there is no stack to resume. Programs abort the job via Rank.Abort and are
+// subject to fault injection exactly like blocking bodies.
+type Program interface {
+	Step(r *Rank) sim.Flow
+}
+
+// RunMachine is World.Run for machine-native rank bodies: mk builds the
+// Program for each rank. Blocking bodies always keep their goroutine; machine
+// worlds on the flat engine spend one arena slot per rank and no goroutine,
+// stack, or channel pair — the difference Stats.PeakProcBytes accounts.
+// Engine choice (CMPI_SIM_ENGINE) never changes simulated results.
+func (w *World) RunMachine(mk func(rank int) Program) error {
+	if w.ran {
+		return fmt.Errorf("mpi: World run twice; build a fresh World per job")
+	}
+	w.ran = true
+	w.tracing = w.Opts.Trace != nil || w.Opts.Record != nil
+	if w.tracing {
+		w.installTracer()
+	}
+	// Same dispatch gate as World.Run: see the comment there.
+	w.parallel = w.inj == nil
+	for i := range w.ranks {
+		r := w.ranks[i]
+		p := w.Eng.GoMachine(fmt.Sprintf("rank%d", r.rank), &rankMachine{
+			w: w, r: r, prog: mk(r.rank),
+		})
+		if w.parallel {
+			p.SetRes(w.resRank(r.rank))
+			p.SetFootprint(r.footprint)
+		}
+	}
+	return w.finishRun(w.Eng.Run())
+}
+
+// rankMachine adapts a Program to the engine's Machine interface, running
+// the same lifecycle as World.Run's goroutine body: crash alarm, MPI_Init
+// split around the PMI barrier, the run-level barrier, restore, the body,
+// and the finalize bookkeeping.
+type rankMachine struct {
+	w    *World
+	r    *Rank
+	prog Program
+	gen  int
+	ph   uint8 // 0 pre-init, 1 init barrier, 2 run barrier, 3 body
+}
+
+// MachineBytes reports the adapter plus its program (steady-state worst
+// case for programs that lazily allocate phases) so flat-engine accounting
+// charges machine ranks for the state they actually keep alive.
+func (m *rankMachine) MachineBytes() int {
+	n := int(reflect.TypeOf(*m).Size())
+	if sr, ok := m.prog.(sim.SizeReporter); ok {
+		return n + sr.MachineBytes()
+	}
+	if t := reflect.TypeOf(m.prog); t != nil {
+		if t.Kind() == reflect.Pointer {
+			t = t.Elem()
+		}
+		n += int(t.Size())
+	}
+	return n
+}
+
+func (m *rankMachine) Step(p *sim.Proc) sim.Flow {
+	r, w := m.r, m.w
+	switch m.ph {
+	case 0:
+		r.p = p
+		if at, ok := w.inj.CrashTime(r.rank); ok {
+			r.hasCrash, r.crashAt = true, at
+			// Same background alarm as World.Run: wake the victim at its
+			// planned death time even if it is parked then.
+			w.Eng.AtBackground(at, func() { p.UnparkAt(at) })
+		}
+		if err := r.initPre(); err != nil {
+			// Init failures are always fatal, as in World.Run.
+			p.Fatalf("MPI_Init: %v", err)
+		}
+		gen, _ := w.pmiArrive(r)
+		m.gen = gen
+		m.ph = 1
+		fallthrough
+	case 1:
+		// One pass of pmiBarrier's wait loop per step; the releaser falls
+		// straight through (its arrival bumped pmiGen past its own gen).
+		if w.pmiGen == m.gen {
+			p.Park()
+			return sim.More
+		}
+		if err := r.initPost(); err != nil {
+			p.Fatalf("MPI_Init: %v", err)
+		}
+		gen, _ := w.pmiArrive(r)
+		m.gen = gen
+		m.ph = 2
+		fallthrough
+	case 2:
+		if w.pmiGen == m.gen {
+			p.Park()
+			return sim.More
+		}
+		r.parallelReady = true
+		if w.restored != nil {
+			w.restoreRank(r)
+		}
+		w.bodyStart[r.rank] = p.Now()
+		m.ph = 3
+		fallthrough
+	default:
+		flow, err := m.stepBody()
+		if err == nil && flow == sim.More {
+			return sim.More
+		}
+		w.bodyEnd[r.rank] = p.Now()
+		if w.Prof != nil {
+			w.Prof.Ranks[r.rank].AppTime = w.bodyEnd[r.rank] - w.bodyStart[r.rank]
+		}
+		if err != nil {
+			// Outside stepBody's recover: under ErrorsAreFatal failRank
+			// aborts the engine by panicking, which must propagate.
+			w.failRank(r, err)
+			return sim.Done
+		}
+		r.finalizeCheck()
+		return sim.Done
+	}
+}
+
+// stepBody runs one Program step under the same crashAbort recovery as
+// World.runBody: a fault-injected crash unwinds the step and surfaces as the
+// body's error instead of a process panic.
+func (m *rankMachine) stepBody() (flow sim.Flow, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			ca, ok := v.(crashAbort)
+			if !ok {
+				panic(v)
+			}
+			flow, err = sim.Done, ca.err
+		}
+	}()
+	return m.prog.Step(m.r), nil
+}
+
+// msend drives one collective-context isend across machine steps: prep and
+// trace once, pre-claim the pair, and if the claim deferred the rank to the
+// next epoch group (regroup yield) retry the dispatch there — the same
+// virtual instant the blocking path's in-protocol claim resumes at. step
+// returns true once the send is handed to its protocol (req is then live);
+// false means the step's blocking primitive fired and the machine must
+// unwind with sim.More.
+type msend struct {
+	req  *Request
+	path core.Path
+	pend bool
+}
+
+func (m *msend) step(r *Rank, dst, tag int, data []byte) bool {
+	if !m.pend {
+		req, path, done := r.isendPrep(dst, tag, collCtxBit, data)
+		m.req, m.path = req, path
+		if done {
+			return true // self-send: completed inline
+		}
+		r.claimPair(req, dst, path == core.PathHCAEager || path == core.PathHCARndv)
+		if r.p.Deferred() {
+			m.pend = true
+			return false
+		}
+	} else {
+		m.pend = false
+	}
+	r.isendDispatch(m.req, m.path)
+	return true
+}
+
+// msr is sendrecvInternal as a machine: post the receive, start the send,
+// wait receive then send, recycle both requests.
+type msr struct {
+	rq, sq *Request
+	snd    msend
+	st     uint8
+}
+
+func (m *msr) step(r *Rank, dst, sendTag int, sendData []byte, src, recvTag int, recvBuf []byte) bool {
+	switch m.st {
+	case 0:
+		m.rq = r.irecvCtx(src, recvTag, collCtxBit, recvBuf)
+		m.st = 1
+		fallthrough
+	case 1:
+		if !m.snd.step(r, dst, sendTag, sendData) {
+			return false
+		}
+		m.sq = m.snd.req
+		m.st = 2
+		fallthrough
+	case 2:
+		if !r.waitStep(func() bool { return m.rq.done }) {
+			return false
+		}
+		m.st = 3
+		fallthrough
+	default:
+		if !r.waitStep(func() bool { return m.sq.done }) {
+			return false
+		}
+		r.putReq(m.rq)
+		r.putReq(m.sq)
+		*m = msr{}
+		return true
+	}
+}
+
+// mbarrier is Rank.barrier (dissemination) as a machine.
+type mbarrier struct {
+	tag    int
+	k      int
+	rq, sq *Request
+	snd    msend
+	st     uint8
+}
+
+func (m *mbarrier) step(r *Rank) bool {
+	if m.st == 0 {
+		m.tag = r.nextCollTag()
+		m.k = 1
+		m.st = 1
+	}
+	for m.k < r.size {
+		dst := (r.rank + m.k) % r.size
+		src := (r.rank - m.k + r.size) % r.size
+		switch m.st {
+		case 1:
+			m.rq = r.irecvCtx(src, m.tag, collCtxBit, nil)
+			m.st = 2
+			fallthrough
+		case 2:
+			if !m.snd.step(r, dst, m.tag, nil) {
+				return false
+			}
+			m.sq = m.snd.req
+			m.st = 3
+			fallthrough
+		case 3:
+			if !r.waitStep(func() bool { return m.sq.done }) {
+				return false
+			}
+			m.st = 4
+			fallthrough
+		default:
+			if !r.waitStep(func() bool { return m.rq.done }) {
+				return false
+			}
+			m.k <<= 1
+			m.st = 1
+		}
+	}
+	*m = mbarrier{}
+	return true
+}
+
+// mreduce is Rank.reduce (binomial tree) as a machine.
+type mreduce struct {
+	tag   int
+	vrank int
+	mask  int
+	tmp   []byte
+	rq    *Request
+	snd   msend
+	st    uint8 // 0 at loop position, 1 waiting parent send, 2 waiting child recv
+	init  bool
+}
+
+func (m *mreduce) step(r *Rank, root int, buf []byte, op ReduceOp) bool {
+	if r.size == 1 {
+		return true
+	}
+	if !m.init {
+		m.tag = r.nextCollTag()
+		m.vrank = (r.rank - root + r.size) % r.size
+		m.mask = 1
+		m.tmp = make([]byte, len(buf))
+		m.init = true
+	}
+	abs := func(v int) int { return (v + root) % r.size }
+	for m.mask < r.size {
+		if m.vrank&m.mask != 0 {
+			// Send to the parent; this rank's part is done.
+			if m.st == 0 {
+				if !m.snd.step(r, abs(m.vrank-m.mask), m.tag, buf) {
+					return false
+				}
+				m.rq = m.snd.req
+				m.st = 1
+			}
+			if !r.waitStep(func() bool { return m.rq.done }) {
+				return false
+			}
+			*m = mreduce{}
+			return true
+		}
+		if m.vrank+m.mask < r.size {
+			if m.st == 0 {
+				m.rq = r.irecvCtx(abs(m.vrank+m.mask), m.tag, collCtxBit, m.tmp)
+				m.st = 2
+			}
+			if !r.waitStep(func() bool { return m.rq.done }) {
+				return false
+			}
+			r.chargeReduce(len(buf))
+			op(buf, m.tmp)
+		}
+		m.mask <<= 1
+		m.st = 0
+	}
+	*m = mreduce{}
+	return true
+}
+
+// mbcast is Rank.bcast (binomial tree) as a machine.
+type mbcast struct {
+	tag   int
+	vrank int
+	mask  int
+	rq    *Request
+	snd   msend
+	ph    uint8 // 0 init, 1 receive walk, 2 forward walk
+	st    uint8 // 0 at position, 1 waiting
+}
+
+func (m *mbcast) step(r *Rank, root int, data []byte) bool {
+	if r.size == 1 {
+		return true
+	}
+	abs := func(v int) int { return (v + root) % r.size }
+	if m.ph == 0 {
+		m.tag = r.nextCollTag()
+		m.vrank = (r.rank - root + r.size) % r.size
+		m.mask = 1
+		m.ph = 1
+	}
+	if m.ph == 1 {
+		for m.mask < r.size {
+			if m.vrank&m.mask != 0 {
+				if m.st == 0 {
+					m.rq = r.irecvCtx(abs(m.vrank-m.mask), m.tag, collCtxBit, data)
+					m.st = 1
+				}
+				if !r.waitStep(func() bool { return m.rq.done }) {
+					return false
+				}
+				break
+			}
+			m.mask <<= 1
+		}
+		m.mask >>= 1
+		m.st = 0
+		m.ph = 2
+	}
+	for m.mask > 0 {
+		if m.vrank+m.mask < r.size {
+			if m.st == 0 {
+				if !m.snd.step(r, abs(m.vrank+m.mask), m.tag, data) {
+					return false
+				}
+				m.rq = m.snd.req
+				m.st = 1
+			}
+			if !r.waitStep(func() bool { return m.rq.done }) {
+				return false
+			}
+		}
+		m.mask >>= 1
+		m.st = 0
+	}
+	*m = mbcast{}
+	return true
+}
+
+// mrd is Rank.allreduceRD (recursive doubling with the non-power-of-two
+// fold) as a machine. The fold and unfold states are inlined, reusing one
+// send submachine and one request slot, to keep the struct lean — a machine
+// rank's accounted footprint is this struct.
+type mrd struct {
+	tag     int
+	rem     int
+	newRank int
+	mask    int
+	tmp     []byte
+	rq      *Request
+	snd     msend
+	sr      msr
+	st      uint8 // 0 init, 1 fold send, 2 fold recv, 3 exchange, 4 unfold recv, 5 unfold send
+	wait    bool  // inner position: request posted, waiting completion
+}
+
+func (m *mrd) step(r *Rank, buf []byte, op ReduceOp, pof2 int) bool {
+	if m.st == 0 {
+		m.tag = r.nextCollTag()
+		m.rem = r.size - pof2
+		m.tmp = make([]byte, len(buf))
+		m.newRank = -1
+		m.mask = 1
+		switch {
+		case r.rank < 2*m.rem && r.rank%2 == 0:
+			m.st = 1
+		case r.rank < 2*m.rem:
+			m.st = 2
+		default:
+			m.newRank = r.rank - m.rem
+			m.st = 3
+		}
+	}
+	switch m.st {
+	case 1: // fold: surplus even rank sends its buffer to the odd partner
+		if !m.wait {
+			if !m.snd.step(r, r.rank+1, m.tag, buf) {
+				return false
+			}
+			m.rq, m.wait = m.snd.req, true
+		}
+		if !r.waitStep(func() bool { return m.rq.done }) {
+			return false
+		}
+		m.wait = false
+		m.st = 3 // newRank stays -1: skip the exchange loop
+	case 2: // fold: surplus odd rank receives and reduces
+		if !m.wait {
+			m.rq = r.irecvCtx(r.rank-1, m.tag, collCtxBit, m.tmp)
+			m.wait = true
+		}
+		if !r.waitStep(func() bool { return m.rq.done }) {
+			return false
+		}
+		r.chargeReduce(len(buf))
+		op(buf, m.tmp)
+		m.newRank = r.rank / 2
+		m.wait = false
+		m.st = 3
+	}
+	if m.st == 3 {
+		if m.newRank >= 0 {
+			for m.mask < pof2 {
+				peer := toAbsFold(m.newRank^m.mask, m.rem)
+				if !m.sr.step(r, peer, m.tag, buf, peer, m.tag, m.tmp) {
+					return false
+				}
+				r.chargeReduce(len(buf))
+				op(buf, m.tmp)
+				m.mask <<= 1
+			}
+		}
+		// Hand the result back to the folded ranks.
+		switch {
+		case r.rank >= 2*m.rem:
+			*m = mrd{}
+			return true
+		case r.rank%2 == 0:
+			m.st = 4
+		default:
+			m.st = 5
+		}
+	}
+	if m.st == 4 {
+		if !m.wait {
+			m.rq = r.irecvCtx(r.rank+1, m.tag, collCtxBit, buf)
+			m.wait = true
+		}
+		if !r.waitStep(func() bool { return m.rq.done }) {
+			return false
+		}
+	} else {
+		if !m.wait {
+			if !m.snd.step(r, r.rank-1, m.tag, buf) {
+				return false
+			}
+			m.rq, m.wait = m.snd.req, true
+		}
+		if !r.waitStep(func() bool { return m.rq.done }) {
+			return false
+		}
+	}
+	*m = mrd{}
+	return true
+}
+
+// toAbsFold maps a folded (power-of-two group) rank back to its absolute
+// rank, as the blocking fold's toAbs closure does.
+func toAbsFold(nr, rem int) int {
+	if nr < rem {
+		return nr*2 + 1
+	}
+	return nr + rem
+}
+
+// mrab is Rank.allreduceRab (Rabenseifner: fold, reduce-scatter by recursive
+// halving, allgather by recursive doubling, unfold) as a machine.
+type mrab struct {
+	tag, tagRS, tagAG int
+	rem, newRank      int
+	lo, hi            int
+	mask              int
+	tmp               []byte
+	rq                *Request
+	snd               msend
+	st                uint8 // 0 init, 1 fold send, 2 fold recv, 3 RS, 4 AG, 5 unfold recv, 6 unfold send
+	sub               uint8 // within an RS/AG iteration: 0 post, 1 wait send, 2 wait recv
+	wait              bool
+}
+
+func (m *mrab) step(r *Rank, buf []byte, op ReduceOp, pof2 int) bool {
+	if m.st == 0 {
+		m.tag = r.nextCollTag()
+		m.tagRS = r.nextCollTag()
+		m.tagAG = r.nextCollTag()
+		m.rem = r.size - pof2
+		m.tmp = make([]byte, len(buf))
+		m.newRank = -1
+		switch {
+		case r.rank < 2*m.rem && r.rank%2 == 0:
+			m.st = 1
+		case r.rank < 2*m.rem:
+			m.st = 2
+		default:
+			m.newRank = r.rank - m.rem
+			m.st = 3
+			m.lo, m.hi = 0, len(buf)
+			m.mask = pof2 / 2
+		}
+	}
+	switch m.st {
+	case 1:
+		if !m.wait {
+			if !m.snd.step(r, r.rank+1, m.tag, buf) {
+				return false
+			}
+			m.rq, m.wait = m.snd.req, true
+		}
+		if !r.waitStep(func() bool { return m.rq.done }) {
+			return false
+		}
+		m.wait = false
+		m.st = 3
+		m.mask = 0 // newRank stays -1: skip both loops
+	case 2:
+		if !m.wait {
+			m.rq = r.irecvCtx(r.rank-1, m.tag, collCtxBit, m.tmp)
+			m.wait = true
+		}
+		if !r.waitStep(func() bool { return m.rq.done }) {
+			return false
+		}
+		r.chargeReduce(len(buf))
+		op(buf, m.tmp)
+		m.newRank = r.rank / 2
+		m.wait = false
+		m.st = 3
+		m.lo, m.hi = 0, len(buf)
+		m.mask = pof2 / 2
+	}
+	if m.st == 3 {
+		if m.newRank >= 0 {
+			// Reduce-scatter by recursive halving: my owned region [lo, hi).
+			for m.mask > 0 {
+				peer := toAbsFold(m.newRank^m.mask, m.rem)
+				mid := m.lo + (m.hi-m.lo)/2
+				var sendLo, sendHi, keepLo, keepHi int
+				if m.newRank&m.mask == 0 {
+					keepLo, keepHi, sendLo, sendHi = m.lo, mid, mid, m.hi
+				} else {
+					keepLo, keepHi, sendLo, sendHi = mid, m.hi, m.lo, mid
+				}
+				switch m.sub {
+				case 0:
+					m.rq = r.irecvCtx(peer, m.tagRS, collCtxBit, m.tmp[keepLo:keepHi])
+					m.sub = 1
+					fallthrough
+				case 1:
+					if !m.snd.step(r, peer, m.tagRS, buf[sendLo:sendHi]) {
+						return false
+					}
+					m.sub = 2
+					fallthrough
+				case 2:
+					if !r.waitStep(func() bool { return m.snd.req.done }) {
+						return false
+					}
+					m.sub = 3
+					fallthrough
+				default:
+					if !r.waitStep(func() bool { return m.rq.done }) {
+						return false
+					}
+					r.chargeReduce(keepHi - keepLo)
+					op(buf[keepLo:keepHi], m.tmp[keepLo:keepHi])
+					m.lo, m.hi = keepLo, keepHi
+					m.mask >>= 1
+					m.sub = 0
+				}
+			}
+		}
+		m.mask = 1
+		m.st = 4
+	}
+	if m.st == 4 {
+		if m.newRank >= 0 {
+			// Allgather by recursive doubling: regions merge back up.
+			for m.mask < pof2 {
+				peer := toAbsFold(m.newRank^m.mask, m.rem)
+				span := m.hi - m.lo
+				var peerLo, peerHi int
+				if m.newRank&m.mask == 0 {
+					peerLo, peerHi = m.lo+span, m.hi+span
+				} else {
+					peerLo, peerHi = m.lo-span, m.hi-span
+				}
+				switch m.sub {
+				case 0:
+					m.rq = r.irecvCtx(peer, m.tagAG, collCtxBit, buf[peerLo:peerHi])
+					m.sub = 1
+					fallthrough
+				case 1:
+					if !m.snd.step(r, peer, m.tagAG, buf[m.lo:m.hi]) {
+						return false
+					}
+					m.sub = 2
+					fallthrough
+				case 2:
+					if !r.waitStep(func() bool { return m.snd.req.done }) {
+						return false
+					}
+					m.sub = 3
+					fallthrough
+				default:
+					if !r.waitStep(func() bool { return m.rq.done }) {
+						return false
+					}
+					if peerLo < m.lo {
+						m.lo = peerLo
+					} else {
+						m.hi = peerHi
+					}
+					m.mask <<= 1
+					m.sub = 0
+				}
+			}
+		}
+		switch {
+		case r.rank >= 2*m.rem:
+			*m = mrab{}
+			return true
+		case r.rank%2 == 0:
+			m.st = 5
+		default:
+			m.st = 6
+		}
+	}
+	if m.st == 5 {
+		if !m.wait {
+			m.rq = r.irecvCtx(r.rank+1, m.tag, collCtxBit, buf)
+			m.wait = true
+		}
+		if !r.waitStep(func() bool { return m.rq.done }) {
+			return false
+		}
+	} else {
+		if !m.wait {
+			if !m.snd.step(r, r.rank-1, m.tag, buf) {
+				return false
+			}
+			m.rq, m.wait = m.snd.req, true
+		}
+		if !r.waitStep(func() bool { return m.rq.done }) {
+			return false
+		}
+	}
+	*m = mrab{}
+	return true
+}
+
+// mring is Rank.allreduceRing (reduce-scatter + allgather ring) as a machine.
+type mring struct {
+	tagRS, tagAG int
+	s            int
+	tmp          []byte
+	sr           msr
+	ph           uint8
+}
+
+func (m *mring) step(r *Rank, buf []byte, op ReduceOp) bool {
+	n := r.size
+	nel := len(buf) / 8
+	off := func(i int) int { return i * nel / n * 8 }
+	chunk := func(i int) []byte { return buf[off(i):off(i+1)] }
+	right := (r.rank + 1) % n
+	left := (r.rank - 1 + n) % n
+	if m.ph == 0 {
+		m.tagRS = r.nextCollTag()
+		m.tagAG = r.nextCollTag()
+		m.tmp = make([]byte, (nel+n-1)/n*8)
+		m.ph = 1
+	}
+	if m.ph == 1 {
+		for m.s < n-1 {
+			sendIdx := (r.rank - m.s + n) % n
+			recvIdx := (r.rank - m.s - 1 + n) % n
+			rc := chunk(recvIdx)
+			if !m.sr.step(r, right, m.tagRS, chunk(sendIdx), left, m.tagRS, m.tmp[:len(rc)]) {
+				return false
+			}
+			if len(rc) > 0 {
+				r.chargeReduce(len(rc))
+				op(rc, m.tmp[:len(rc)])
+			}
+			m.s++
+		}
+		m.s = 0
+		m.ph = 2
+	}
+	for m.s < n-1 {
+		sendIdx := (r.rank + 1 - m.s + n) % n
+		recvIdx := (r.rank - m.s + n) % n
+		if !m.sr.step(r, right, m.tagAG, chunk(sendIdx), left, m.tagAG, chunk(recvIdx)) {
+			return false
+		}
+		m.s++
+	}
+	*m = mring{}
+	return true
+}
+
+// mallreduce is Rank.allreduce as a machine: per-call algorithm selection,
+// then the chosen algorithm machine. Only the selected machine is allocated
+// — one is live at a time, and a machine rank's whole accounted footprint
+// rides on staying lean.
+type mallreduce struct {
+	pof2 int
+	algo core.AllreduceAlgo
+	ph   uint8
+	rd   *mrd
+	rab  *mrab
+	ring *mring
+	red  *mreduce
+	bc   *mbcast
+}
+
+func (m *mallreduce) step(r *Rank, buf []byte, op ReduceOp) bool {
+	if r.size == 1 {
+		return true
+	}
+	if m.ph == 0 {
+		m.pof2 = 1
+		for m.pof2*2 <= r.size {
+			m.pof2 *= 2
+		}
+		m.algo = r.selectAllreduce(len(buf), m.pof2)
+		r.recordCollAlgo(m.algo, len(buf))
+		m.ph = 1
+		switch m.algo {
+		case core.AllreduceRabenseifner:
+			m.rab = &mrab{}
+		case core.AllreduceRing:
+			m.ring = &mring{}
+		case core.AllreduceTree:
+			m.red = &mreduce{}
+		default:
+			m.rd = &mrd{}
+		}
+	}
+	var done bool
+	switch m.algo {
+	case core.AllreduceRabenseifner:
+		done = m.rab.step(r, buf, op, m.pof2)
+	case core.AllreduceRing:
+		done = m.ring.step(r, buf, op)
+	case core.AllreduceTree:
+		// Binomial reduce to rank 0, then broadcast — allreduceTree.
+		if m.ph == 1 {
+			if !m.red.step(r, 0, buf, op) {
+				return false
+			}
+			m.ph = 2
+			m.red, m.bc = nil, &mbcast{}
+		}
+		done = m.bc.step(r, 0, buf)
+	default:
+		done = m.rd.step(r, buf, op, m.pof2)
+	}
+	if !done {
+		return false
+	}
+	*m = mallreduce{}
+	return true
+}
+
+// MachBarrier is Rank.Barrier for machine programs: call Step each machine
+// step; true means the barrier completed, false means unwind with sim.More.
+// The zero value is ready; it resets itself on completion for reuse.
+type MachBarrier struct{ m mbarrier }
+
+func (b *MachBarrier) Step(r *Rank) bool { return b.m.step(r) }
+
+// MachAllreduce is Rank.Allreduce for machine programs (the non-hierarchical
+// path: per-call algorithm selection over recursive doubling, Rabenseifner,
+// ring, and tree). Same stepping convention as MachBarrier.
+type MachAllreduce struct{ m mallreduce }
+
+func (a *MachAllreduce) Step(r *Rank, buf []byte, op ReduceOp) bool { return a.m.step(r, buf, op) }
+
+// AllreduceWorkload is a self-checking blocking rank body: iters rounds of
+// an int64-sum allreduce over a size-byte buffer (size%8 == 0) with a
+// deterministic per-rank fill, aborting the job on any wrong element. Its
+// machine twin is AllreduceProgram — the pair drives the engine-equivalence
+// tests and the full-fidelity memory benchmark.
+func AllreduceWorkload(iters, size int) func(r *Rank) error {
+	return func(r *Rank) error {
+		buf := make([]byte, size)
+		for it := 0; it < iters; it++ {
+			fillAllreduce(buf, r.rank, it)
+			r.allreduce(buf, SumInt64)
+			checkAllreduce(r, buf, it)
+		}
+		return nil
+	}
+}
+
+// AllreduceProgram is AllreduceWorkload as a machine-native Program factory
+// for World.RunMachine: the same fills, the same collective schedule, the
+// same checks, with no goroutine or stack behind any rank.
+func AllreduceProgram(iters, size int) func(rank int) Program {
+	return func(int) Program {
+		return &allreduceProg{iters: iters, size: size}
+	}
+}
+
+type allreduceProg struct {
+	iters, size int
+	it          int
+	buf         []byte
+	ar          mallreduce
+	filled      bool
+}
+
+func (g *allreduceProg) Step(r *Rank) sim.Flow {
+	if g.buf == nil {
+		g.buf = make([]byte, g.size)
+	}
+	for g.it < g.iters {
+		if !g.filled {
+			fillAllreduce(g.buf, r.rank, g.it)
+			g.filled = true
+		}
+		if !g.ar.step(r, g.buf, SumInt64) {
+			return sim.More
+		}
+		checkAllreduce(r, g.buf, g.it)
+		g.it++
+		g.filled = false
+	}
+	return sim.Done
+}
+
+// MachineBytes: the program struct plus the largest algorithm machine an
+// allreduce can keep live (they are lazily allocated, one at a time), so
+// flat-engine accounting reflects the steady-state footprint.
+func (g *allreduceProg) MachineBytes() int {
+	return int(reflect.TypeOf(*g).Size()) + maxCollMachineBytes
+}
+
+var maxCollMachineBytes = func() int {
+	max := 0
+	for _, sz := range []uintptr{
+		reflect.TypeOf(mrd{}).Size(),
+		reflect.TypeOf(mrab{}).Size(),
+		reflect.TypeOf(mring{}).Size(),
+		reflect.TypeOf(mreduce{}).Size(),
+		reflect.TypeOf(mbcast{}).Size(),
+	} {
+		if int(sz) > max {
+			max = int(sz)
+		}
+	}
+	return max
+}()
+
+// fillAllreduce writes rank- and iteration-unique int64 elements:
+// element e of rank k at iteration it is (k+1)*(it+1) + e.
+func fillAllreduce(buf []byte, rank, it int) {
+	for i := 0; i+8 <= len(buf); i += 8 {
+		v := int64(rank+1)*int64(it+1) + int64(i/8)
+		binary.LittleEndian.PutUint64(buf[i:], uint64(v))
+	}
+}
+
+// checkAllreduce verifies a summed buffer against the closed form of
+// fillAllreduce's values and aborts the job on the first mismatch.
+func checkAllreduce(r *Rank, buf []byte, it int) {
+	n := int64(r.size)
+	for i := 0; i+8 <= len(buf); i += 8 {
+		want := n*(n+1)/2*int64(it+1) + n*int64(i/8)
+		if got := int64(binary.LittleEndian.Uint64(buf[i:])); got != want {
+			r.Abort("allreduce check: rank %d iter %d elem %d: got %d want %d",
+				r.rank, it, i/8, got, want)
+		}
+	}
+}

@@ -220,31 +220,54 @@ func (r *Rank) isend(dst, tag int, data []byte) *Request {
 
 // isendCtx starts a send on an arbitrary communicator context.
 func (r *Rank) isendCtx(dst, tag, ctx int, data []byte) *Request {
+	req, path, done := r.isendPrep(dst, tag, ctx, data)
+	if done {
+		return req
+	}
+	r.isendDispatch(req, path)
+	return req
+}
+
+// isendPrep is the front half of isendCtx: validate, build the request,
+// take the fast paths (self-send, dead destination), select the channel and
+// emit the send trace record. done=true means the request needs no protocol
+// dispatch. Split from isendDispatch so machine ranks (machine.go) can
+// claim the destination pair — and possibly regroup-yield — between the
+// trace emission and the protocol entry, at exactly the virtual instant the
+// blocking path's internal claimPair fires.
+func (r *Rank) isendPrep(dst, tag, ctx int, data []byte) (req *Request, path core.Path, done bool) {
 	if dst < 0 || dst >= r.size {
 		r.p.Fatalf("Isend to rank %d outside world of size %d", dst, r.size)
 	}
-	req := r.getReq()
+	req = r.getReq()
 	req.r, req.isSend, req.peer, req.tag, req.ctx, req.sbuf = r, true, dst, tag, ctx, data
 	if dst == r.rank {
 		r.trace(trace.OpSend, trace.PathSelf, req.peer, tag, ctx, len(data), r.sendSeq[r.rank])
 		r.selfSend(req)
-		return req
+		return req, 0, true
 	}
 	if r.w.Opts.ErrHandler == ErrorsRecover && r.w.rankDead(dst) {
 		// ULFM fast path: the destination crashed, so the send can never be
 		// received (real messages may race the failure notice; the simulation
 		// observes crashes at their virtual instant).
 		r.failRequest(req, &ProcFailedError{Peer: dst, At: r.p.Now()})
-		return req
+		return req, 0, true
 	}
 	if r.deadPeers[dst] {
 		// The HCA channel to dst already broke under ErrorsReturn: fail fast
 		// instead of posting into a flushed connection.
 		r.failRequest(req, &ChannelError{Peer: dst, Status: ib.WCFlushed})
-		return req
+		return req, 0, true
 	}
-	path := r.pathFor(dst, len(data))
+	path = r.pathFor(dst, len(data))
 	r.trace(trace.OpSend, trace.PathOf(path), dst, tag, ctx, len(data), r.sendSeq[dst])
+	return req, path, false
+}
+
+// isendDispatch is the back half of isendCtx: enter the selected channel
+// protocol. Each protocol entry claims the pair itself (a no-op if the
+// caller already claimed it on the same request).
+func (r *Rank) isendDispatch(req *Request, path core.Path) {
 	switch path {
 	case core.PathSHMEager, core.PathSHMRndv, core.PathCMARndv:
 		r.enqueueShmSend(req, path)
@@ -253,7 +276,6 @@ func (r *Rank) isendCtx(dst, tag, ctx int, data []byte) *Request {
 	case core.PathHCARndv:
 		r.hcaRndvSend(req)
 	}
-	return req
 }
 
 // Irecv starts a nonblocking receive into buf. src may be AnySource and tag

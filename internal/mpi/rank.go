@@ -145,8 +145,20 @@ func (r *Rank) LocalRanks() []int {
 }
 
 // init is MPI_Init: open the HCA, run the Container Locality Detector, and
-// build the per-peer capability table.
+// build the per-peer capability table. Split around the PMI barrier so
+// machine ranks (machine.go) can run the same two halves with the barrier
+// wait spread across steps.
 func (r *Rank) init() error {
+	if err := r.initPre(); err != nil {
+		return err
+	}
+	r.w.pmiBarrier(r)
+	return r.initPost()
+}
+
+// initPre is the pre-barrier half of MPI_Init: open the device and publish
+// the rank's detector byte.
+func (r *Rank) initPre() error {
 	p := r.w.Opts.Params
 
 	// Open the device (needs --privileged inside containers). A failure is
@@ -201,8 +213,13 @@ func (r *Rank) init() error {
 		}
 		r.det = det
 	}
-	r.w.pmiBarrier(r)
+	return nil
+}
 
+// initPost is the post-barrier half of MPI_Init: snapshot the detector's
+// container list and build the per-peer capability table.
+func (r *Rank) initPost() error {
+	det := r.det
 	var loc core.Locality
 	if det != nil {
 		loc = det.Snapshot()
@@ -315,16 +332,25 @@ func (r *Rank) footprint(buf []sim.Res) []sim.Res {
 	}
 	buf = append(buf, w.resRank(r.rank))
 	hosts := false
+	myHost := r.env.Host.Index
 	for _, ps := range r.touchedPairs {
 		peer := ps.other(r.rank)
 		buf = append(buf, w.resRank(peer))
 		if ps.hca[0] || ps.hca[1] {
 			hosts = true
-			buf = append(buf, w.resHost(w.Deploy.Placements[peer].Env.Host.Index))
+			peerHost := w.Deploy.Placements[peer].Env.Host.Index
+			buf = append(buf, w.resHost(peerHost))
+			// Under a non-trivial topology an HCA pair's footprint also spans
+			// every spine switch its cross-rack routes can book: spine
+			// next-free words are shared fabric state exactly like port
+			// bandwidth, and declaring them is what lets racked fat-tree
+			// worlds keep epoch-parallel dispatch (duplicates across pairs
+			// are harmless — union-find re-merges the same resource).
+			buf = append(buf, w.spineRes(myHost, peerHost)...)
 		}
 	}
 	if hosts {
-		buf = append(buf, w.resHost(r.env.Host.Index))
+		buf = append(buf, w.resHost(myHost))
 	}
 	return buf
 }
@@ -429,9 +455,15 @@ func (r *Rank) canTouchPair(ps *pairShared) bool {
 		return false
 	}
 	if ps.hca[0] || ps.hca[1] {
+		peerHost := r.w.Deploy.Placements[peer].Env.Host.Index
 		if !r.p.CanTouch(r.w.resHost(r.env.Host.Index)) ||
-			!r.p.CanTouch(r.w.resHost(r.w.Deploy.Placements[peer].Env.Host.Index)) {
+			!r.p.CanTouch(r.w.resHost(peerHost)) {
 			return false
+		}
+		for _, res := range r.w.spineRes(r.env.Host.Index, peerHost) {
+			if !r.p.CanTouch(res) {
+				return false
+			}
 		}
 	}
 	return true
@@ -585,6 +617,34 @@ func (r *Rank) waitUntil(cond func() bool) {
 			return
 		}
 		r.p.Park()
+	}
+}
+
+// waitStep is waitUntil for machine ranks: one pass of the wait loop per
+// machine step. True means cond holds and the caller proceeds; false means
+// the rank parked — Park was the call's last action, so the machine must
+// unwind its Step returning sim.More, and the next step re-enters waitStep
+// exactly like the blocking loop's iteration after Park returns. Identical
+// on both engines: a goroutine-backed machine blocks inside Park and simply
+// loops through one extra Step.
+func (r *Rank) waitStep(cond func() bool) bool {
+	for {
+		r.faultCheck()
+		if r.w.crashGen != r.crashSeen {
+			r.crashSeen = r.w.crashGen
+			r.failDeadOps()
+		}
+		if cond() {
+			return true
+		}
+		if r.progress() {
+			continue
+		}
+		if cond() {
+			return true
+		}
+		r.p.Park()
+		return false
 	}
 }
 

@@ -110,7 +110,14 @@ func (w *World) RunRecoverable(ro RecoverOptions, body func(r *Rank) error) (*re
 // else — including crashes of other ranks that have not fired yet — replays.
 // Under shrink, rank-targeted events are remapped to the survivors' new
 // numbering and events aimed at dead ranks are dropped; host-targeted events
-// are kept verbatim (hosts persist across the rebuild).
+// are kept verbatim (hosts persist across the rebuild). A remapped target can
+// never land at or beyond the shrunken world size: oldToNew is built from the
+// shrink mapping, which lists exactly the survivors in their new (compacted)
+// order, so every value it yields is a valid new rank and every old rank it
+// does not contain — dead or out of range — drops its event. NewWorld
+// re-validates the pruned plan against the new geometry as a backstop, so a
+// future remapping bug fails the restart loudly instead of arming a fault on
+// a phantom rank.
 func pruneFaultPlan(p *fault.Plan, dead []int, mapping []int, policy rec.Policy) *fault.Plan {
 	if p == nil {
 		return nil

@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"testing"
 
+	"cmpi/internal/cluster"
 	"cmpi/internal/fault"
 	rec "cmpi/internal/recover"
 	"cmpi/internal/sim"
@@ -490,5 +491,98 @@ func TestShrinkPlanEndToEnd(t *testing.T) {
 	}
 	if !fails(min) {
 		t.Error("the shrunk plan no longer reproduces the failure")
+	}
+}
+
+// TestPruneFaultPlanShrinkRemap audits the shrink-policy path of
+// pruneFaultPlan against the real shrink mapping: the fired crash is
+// dropped, pending rank-targeted events remap to the survivors' compacted
+// numbering (the highest surviving rank lands at newSize-1, never at or
+// beyond the new world size), wildcards and host-targeted events pass
+// through untouched, and the pruned plan validates against the shrunken
+// geometry — the same check NewWorld applies on restart.
+func TestPruneFaultPlanShrinkRemap(t *testing.T) {
+	spec := cluster.Spec{Hosts: 1, SocketsPerHost: 2, CoresPerSocket: 12, HCAsPerHost: 1}
+	d, err := cluster.Native(cluster.MustNew(spec), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := []int{5}
+	nd, mapping, err := cluster.Shrink(d, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := func(n int) sim.Time { return sim.Time(n) * sim.Microsecond }
+	plan := fault.NewPlan().
+		RankCrash(5, us(40)).                    // fired: the restart must not re-kill
+		RankCrash(7, us(900)).                   // pending, survivor: 7 -> 6
+		Straggler(15, us(10), us(50), 2).        // pending, highest surviving rank: 15 -> 14
+		Straggler(fault.Any, us(20), us(30), 3). // wildcard: kept as Any
+		CMAFail(0, us(5), us(10))                // host-targeted: kept verbatim
+	plan.Seed = 77
+	got := pruneFaultPlan(plan, dead, mapping, rec.PolicyShrink)
+	want := []fault.Event{
+		{Kind: fault.RankCrash, Rank: 6, At: us(900)},
+		{Kind: fault.Straggler, Rank: 14, At: us(10), Duration: us(50), Factor: 2},
+		{Kind: fault.Straggler, Rank: fault.Any, At: us(20), Duration: us(30), Factor: 3},
+		{Kind: fault.CMAFail, Host: 0, At: us(5), Duration: us(10)},
+	}
+	if !reflect.DeepEqual(got.Events, want) {
+		t.Fatalf("pruned events:\n%+v\nwant:\n%+v", got.Events, want)
+	}
+	if got.Seed != plan.Seed {
+		t.Errorf("pruned plan lost the repro seed: %d, want %d", got.Seed, plan.Seed)
+	}
+	if _, err := fault.NewInjector(got, spec.Hosts, nd.Size()); err != nil {
+		t.Errorf("pruned plan fails validation against the shrunken geometry: %v", err)
+	}
+}
+
+// TestShrinkRemapsPendingStraggler is the end-to-end regression for the
+// shrink + pending-straggler case: a crash triggers a shrink restart while a
+// straggler aimed at the highest surviving rank is still armed. The restart
+// must remap it to the new numbering (un-remapped, its old target equals the
+// new world size and world construction would fail) and actually apply it —
+// the shrunken world runs measurably slower than the same recovery without
+// the straggler — while the golden workload still lands byte-identical.
+func TestShrinkRemapsPendingStraggler(t *testing.T) {
+	var base []float64
+	mw := testWorld(t, "2host", 16, DefaultOptions())
+	if _, err := mw.RunRecoverable(RecoverOptions{}, goldenBody(&base, nil)); err != nil {
+		t.Fatalf("fault-free run: %v", err)
+	}
+	crashAt := mw.MaxBodyTime() * 3 / 5
+
+	run := func(straggle bool) (*rec.Report, []float64) {
+		plan := fault.NewPlan().RankCrash(5, crashAt)
+		if straggle {
+			// Open window from t=0 so the slowdown spans the restarted
+			// world too; rank 15 is the highest survivor (5 dies) and maps
+			// to 14 in the 15-rank world.
+			plan.Straggler(15, 0, 0, 8)
+		}
+		opts := DefaultOptions()
+		opts.FaultPlan = plan
+		w := testWorld(t, "2host", 16, opts)
+		var got []float64
+		rep, err := w.RunRecoverable(
+			RecoverOptions{Policy: rec.PolicyShrink, MaxRestarts: 3},
+			goldenBody(&got, nil))
+		if err != nil {
+			t.Fatalf("straggle=%v: %v", straggle, err)
+		}
+		return rep, got
+	}
+	plain, _ := run(false)
+	slow, got := run(true)
+	if slow.Attempts != 2 || slow.FinalSize != 15 {
+		t.Errorf("report = %+v, want 2 attempts at final size 15", slow)
+	}
+	if !reflect.DeepEqual(got, base) {
+		t.Error("recovered final array differs from the fault-free run")
+	}
+	if slow.FinalTime <= plain.FinalTime {
+		t.Errorf("straggler on the remapped rank did not slow the shrunken world: %v <= %v",
+			slow.FinalTime, plain.FinalTime)
 	}
 }

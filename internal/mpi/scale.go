@@ -221,7 +221,10 @@ func RunScale(o ScaleOptions) (*ScaleResult, error) {
 	}
 
 	eng := sim.NewEngine()
-	flat := sim.FlatFromEnv(o.Ranks)
+	flat, err := sim.FlatFromEnv(o.Ranks)
+	if err != nil {
+		return nil, err
+	}
 	if o.Flat != nil {
 		flat = *o.Flat
 	}

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"cmpi/internal/ib"
@@ -123,6 +124,8 @@ func TestScaleAutoSelection(t *testing.T) {
 	}
 	if _, err := RunScale(ScaleOptions{Ranks: 48, RanksPerHost: 48, Algo: ScaleRD}); err == nil {
 		t.Fatal("recursive doubling must reject non-power-of-two rank counts")
+	} else if !strings.Contains(err.Error(), "power-of-two") || !strings.Contains(err.Error(), "48") {
+		t.Fatalf("rd rejection should name the constraint and the count, got %v", err)
 	}
 	if _, err := RunScale(ScaleOptions{Ranks: 0}); err == nil {
 		t.Fatal("zero ranks must be rejected")

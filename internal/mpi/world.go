@@ -94,6 +94,14 @@ type World struct {
 	// sticky footprints); see Options.FootprintDecay and Rank.footprint.
 	decay int
 
+	// spineTab lists, per host pair (triangular index over hosts), the
+	// epoch-dispatch resource ids of every spine switch the fabric's static
+	// ECMP routes between the two hosts can book (both directions). Built
+	// once in NewWorld from the topology — a pure function of host racks —
+	// so footprint enumeration at epoch formation reads only immutable
+	// state. Nil for trivial topologies; nil entries for same-rack pairs.
+	spineTab [][]sim.Res
+
 	// coResFrac caches the deployment's co-resident rank-pair fraction for
 	// the collective algorithm selector (coResidentFraction). Computed once
 	// from Deploy ground truth — never from per-rank capability tables,
@@ -139,12 +147,35 @@ func NewWorld(d *cluster.Deployment, opts Options) (*World, error) {
 		}
 	}
 	// Machine execution mode for this world size (CMPI_SIM_ENGINE override).
-	// Rank bodies are blocking functions and always run on goroutines; the
-	// mode matters for machine-based procs sharing the engine.
-	w.Eng.SetFlat(sim.FlatFromEnv(d.Size()))
+	// Blocking rank bodies always run on goroutines; the mode matters for
+	// machine ranks (World.RunMachine) and machine-based procs sharing the
+	// engine.
+	flat, err := sim.FlatFromEnv(d.Size())
+	if err != nil {
+		return nil, err
+	}
+	w.Eng.SetFlat(flat)
 	w.fabric = ib.NewFabric(w.Eng, &w.Opts.Params, d.Cluster)
 	if err := w.fabric.SetTopology(opts.Topology); err != nil {
 		return nil, err
+	}
+	if !opts.Topology.Trivial() {
+		hosts := d.Cluster.Spec.Hosts
+		w.spineTab = make([][]sim.Res, hosts*(hosts-1)/2)
+		var hops []int
+		for hi := 1; hi < hosts; hi++ {
+			for lo := 0; lo < hi; lo++ {
+				hops = w.fabric.SpineHops(lo, hi, hops[:0])
+				if len(hops) == 0 {
+					continue // same rack: never leaves the leaf switch
+				}
+				rs := make([]sim.Res, len(hops))
+				for i, id := range hops {
+					rs[i] = w.resSpine(id)
+				}
+				w.spineTab[pairIdx(lo, hi)] = rs
+			}
+		}
 	}
 	inj, err := fault.NewInjector(opts.FaultPlan, d.Cluster.Spec.Hosts, d.Size())
 	if err != nil {
@@ -196,10 +227,10 @@ func (w *World) Run(body func(r *Rank) error) error {
 	// (which also keeps Eng.Now()-based fault timestamps exact). Tracing does
 	// NOT serialize: records ride the engine's emitter, buffered per epoch
 	// group and flushed in deterministic (t, group, seq) commit order.
-	// (which also keeps Eng.Now()-based fault timestamps exact.) Non-trivial
-	// fabric topologies serialize too: spine-switch next-free state is shared
-	// across hosts, outside any rank-pair footprint.
-	w.parallel = w.inj == nil && w.Opts.Topology.Trivial()
+	// Non-trivial fabric topologies do not serialize either: every spine
+	// switch a cross-rack pair's ECMP routes can book is a declared resource
+	// (resSpine) in both ranks' footprints, so groups sharing a spine merge.
+	w.parallel = w.inj == nil
 	for i := range w.ranks {
 		r := w.ranks[i]
 		p := w.Eng.Go(fmt.Sprintf("rank%d", r.rank), func(p *sim.Proc) {
@@ -244,7 +275,12 @@ func (w *World) Run(body func(r *Rank) error) error {
 			p.SetFootprint(r.footprint)
 		}
 	}
-	engErr := w.Eng.Run()
+	return w.finishRun(w.Eng.Run())
+}
+
+// finishRun folds the engine error and the per-rank errors into the value Run
+// (and RunMachine) returns.
+func (w *World) finishRun(engErr error) error {
 	if w.Prof != nil {
 		w.Prof.Sim = w.SimStats()
 	}
@@ -427,7 +463,24 @@ func (w *World) BodyTime(rank int) sim.Time { return w.bodyEnd[rank] - w.bodySta
 // MPI_Init — notably between publishing membership bytes into the container
 // list and snapshotting it.
 func (w *World) pmiBarrier(r *Rank) {
-	gen := w.pmiGen
+	gen, released := w.pmiArrive(r)
+	if released {
+		return
+	}
+	for w.pmiGen == gen {
+		r.p.Park()
+	}
+}
+
+// pmiArrive records one rank's arrival at the PMI barrier. The last arriver
+// performs the release (waking every other rank and advancing its own clock
+// to the release time — a pure bump for machine ranks, whose Advance never
+// yields) and reports released=true; everyone else gets back the generation
+// to wait on (w.pmiGen != gen means released). Split out so machine ranks can
+// arrive in one step and poll the generation across later steps, while the
+// blocking wrapper above keeps its Park loop.
+func (w *World) pmiArrive(r *Rank) (gen int, released bool) {
+	gen = w.pmiGen
 	w.pmiArrived++
 	if t := r.p.Now(); t > w.pmiLatest {
 		w.pmiLatest = t
@@ -445,11 +498,9 @@ func (w *World) pmiBarrier(r *Rank) {
 		if release > r.p.Now() {
 			r.p.Advance(release - r.p.Now())
 		}
-		return
+		return gen, true
 	}
-	for w.pmiGen == gen {
-		r.p.Park()
-	}
+	return gen, false
 }
 
 // pairShared is the per-pair connection state. All entries are preallocated
@@ -528,6 +579,24 @@ func (w *World) resRank(rank int) sim.Res { return sim.Res(1 + rank) }
 
 // resHost is the resource id for a host's fabric port and device pools.
 func (w *World) resHost(host int) sim.Res { return sim.Res(1 + len(w.ranks) + host) }
+
+// resSpine is the resource id for one fabric spine switch's next-free word
+// (ib.Topology ECMP contention state), identified by its stage-major index
+// (stage*SpinesPerStage + idx). Spine ids sit above the rank and host ranges.
+func (w *World) resSpine(spine int) sim.Res {
+	return sim.Res(1 + len(w.ranks) + w.Deploy.Cluster.Spec.Hosts + spine)
+}
+
+// spineRes lists the spine-switch resources the fabric routes between two
+// hosts can book; empty unless the topology is non-trivial and the hosts sit
+// in different racks. Read-only after NewWorld — safe from any epoch group
+// and from footprint callbacks at formation.
+func (w *World) spineRes(hostA, hostB int) []sim.Res {
+	if w.spineTab == nil || hostA == hostB {
+		return nil
+	}
+	return w.spineTab[pairIdx(hostA, hostB)]
+}
 
 // qpFor returns r's QP to peer, establishing the RC connection on demand
 // (MVAPICH2 on-demand connection management). The setup cost is charged to

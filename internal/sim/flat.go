@@ -64,14 +64,19 @@ const DefaultFlatThreshold = 1024
 // flat: the CMPI_SIM_ENGINE environment variable ("flat" or "goroutine")
 // wins, else worlds of DefaultFlatThreshold ranks or more go flat. Engine
 // choice never changes simulated results — only host memory and wall-clock.
-func FlatFromEnv(worldSize int) bool {
-	switch os.Getenv("CMPI_SIM_ENGINE") {
+// A set-but-unrecognized value (say "falt") is a deterministic error, never a
+// silent fall-through to size-based selection.
+func FlatFromEnv(worldSize int) (bool, error) {
+	switch v := os.Getenv("CMPI_SIM_ENGINE"); v {
 	case "flat":
-		return true
+		return true, nil
 	case "goroutine":
-		return false
+		return false, nil
+	case "":
+	default:
+		return false, fmt.Errorf("CMPI_SIM_ENGINE=%q: want \"flat\" or \"goroutine\"", v)
 	}
-	return worldSize >= DefaultFlatThreshold
+	return worldSize >= DefaultFlatThreshold, nil
 }
 
 // SetFlat selects the execution mode for machines spawned after the call:
@@ -253,10 +258,24 @@ const (
 // procBytes is the facade struct itself, charged to every process kind.
 var procBytes = int(reflect.TypeOf(Proc{}).Size())
 
-// machineBytes is the machine state a process carries: the pointee size for
-// pointer machines (the common case), the value size otherwise. Charged to
-// machines on both engines — the state exists either way.
+// SizeReporter lets a machine report the bytes of state it keeps alive
+// beyond what reflect sees in its own struct — an adapter whose interface
+// field points at a separately allocated program, or a machine that lazily
+// allocates its largest phase. The report should be the machine's
+// steady-state live footprint (count lazily allocated state at its
+// worst-case size). Accounting only; never affects simulated results.
+type SizeReporter interface {
+	MachineBytes() int
+}
+
+// machineBytes is the machine state a process carries: the self-reported
+// size for SizeReporter machines, else the pointee size for pointer machines
+// (the common case), the value size otherwise. Charged to machines on both
+// engines — the state exists either way.
 func machineBytes(m Machine) int {
+	if sr, ok := m.(SizeReporter); ok {
+		return sr.MachineBytes()
+	}
 	t := reflect.TypeOf(m)
 	if t == nil {
 		return 0

@@ -271,3 +271,45 @@ func TestChanPairPoolRoundTrip(t *testing.T) {
 		t.Fatalf("finished proc kept channel references")
 	}
 }
+
+// TestFlatFromEnv pins the engine-selection contract: explicit
+// CMPI_SIM_ENGINE values win, the empty value falls back to the size
+// threshold, and a set-but-unrecognized value is a deterministic parse
+// error rather than a silent fall-through.
+func TestFlatFromEnv(t *testing.T) {
+	cases := []struct {
+		env     string
+		size    int
+		want    bool
+		wantErr bool
+	}{
+		{"flat", 1, true, false},
+		{"goroutine", 1 << 20, false, false},
+		{"", DefaultFlatThreshold - 1, false, false},
+		{"", DefaultFlatThreshold, true, false},
+		{"falt", 1, false, true},
+		{"FLAT", 1, false, true},
+		{"flat ", 1, false, true},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%q-%d", tc.env, tc.size), func(t *testing.T) {
+			t.Setenv("CMPI_SIM_ENGINE", tc.env)
+			got, err := FlatFromEnv(tc.size)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("FlatFromEnv(%d) with %q: want error, got flat=%v", tc.size, tc.env, got)
+				}
+				if !strings.Contains(err.Error(), "CMPI_SIM_ENGINE=") {
+					t.Fatalf("error %q does not name the variable", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("FlatFromEnv(%d) with %q: %v", tc.size, tc.env, err)
+			}
+			if got != tc.want {
+				t.Fatalf("FlatFromEnv(%d) with %q = %v; want %v", tc.size, tc.env, got, tc.want)
+			}
+		})
+	}
+}

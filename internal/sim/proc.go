@@ -183,6 +183,16 @@ func (p *Proc) checkStep(op string) {
 	}
 }
 
+// Deferred reports whether the current machine step already invoked its
+// blocking primitive — i.e. the call recorded a continuation instead of
+// completing. Machine code that wraps a possibly-blocking helper (one that
+// may Park or YieldRegroup internally) checks Deferred after the call: true
+// means the step must unwind and return More so the primitive stays the
+// step's last action. Always false for goroutine-backed procs, whose
+// primitives block for real and return only after the wake — so a machine
+// polling Deferred behaves identically on both engines.
+func (p *Proc) Deferred() bool { return p.fm != nil && p.blocked }
+
 // wantsWake reports whether a popped proc event is a live wake for p.
 // Scheduled processes accept only their own timer; parked processes accept
 // only unparks (any stale timer must predate the park); running/done drop
